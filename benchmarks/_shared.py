@@ -1,0 +1,19 @@
+"""Cross-benchmark caching of the expensive standard run.
+
+Figures 4, 5 and 6 of the paper are all read off the *same* experiment
+(the standard d1 / l=32 / t_pri=0.1 / t_div=0.05 web-trace run), so the
+benchmarks share one execution of it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.experiments import storage
+
+
+@lru_cache(maxsize=4)
+def standard_run(n_nodes: int, capacity_scale: float, seed: int):
+    return storage.run_standard(
+        n_nodes=n_nodes, capacity_scale=capacity_scale, seed=seed
+    )

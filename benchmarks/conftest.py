@@ -1,0 +1,45 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and emits a
+plain-text report (printed, and saved under ``benchmarks/results/``) that
+places our measured values next to the published ones.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale knobs: the REPRO_BENCH_NODES / REPRO_BENCH_SCALE environment
+variables override the default 100-node, 0.25x-capacity configuration
+(the paper used 2250 nodes; results converge towards the published
+numbers as scale grows).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale used by all benchmarks (overridable via environment).
+BENCH_NODES = int(os.environ.get("REPRO_BENCH_NODES", "100"))
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return {"n_nodes": BENCH_NODES, "capacity_scale": BENCH_SCALE, "seed": BENCH_SEED}
+
+
+@pytest.fixture
+def report():
+    """Writer that prints a report block and persists it to results/."""
+
+    def _write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{'=' * 72}\n{text}\n(saved to {path})\n{'=' * 72}")
+
+    return _write

@@ -1,0 +1,42 @@
+"""Figure 4: file diversions (1x/2x/3x re-salts) and failures vs. utilization.
+
+Paper shape: file diversions are negligible while utilization is below
+~83%, then climb steeply; triple diversions stay rare; insertion failures
+appear only at the very end.
+"""
+
+from repro.analysis import format_curve
+from ._shared import standard_run
+
+
+def test_figure4(benchmark, report, bench_scale):
+    run = benchmark.pedantic(
+        lambda: standard_run(
+            bench_scale["n_nodes"], bench_scale["capacity_scale"], bench_scale["seed"]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    curves = run.stats.file_diversion_curves()
+    pts = [
+        (round(u * 100, 1), round(r1, 4), round(r2, 4), round(r3, 4), round(f, 4))
+        for u, r1, r2, r3, f in curves
+    ]
+    text = format_curve(
+        pts,
+        ["util %", "1 redirect", "2 redirects", "3 redirects", "failures"],
+        title="Figure 4 - cumulative ratio of file diversions and insert failures",
+        max_points=14,
+    )
+    report("figure4_file_diversion", text)
+
+    # Shape: below 60% utilization file diversion is (near) zero.
+    low = [c for c in curves if c[0] < 0.6]
+    if low:
+        u, r1, r2, r3, f = low[-1]
+        assert r1 + r2 + r3 < 0.02
+    # Shape: diversions increase towards the end of the run.
+    final = curves[-1]
+    assert final[1] >= (low[-1][1] if low else 0.0)
+    # Shape: deeper re-salting is rarer.
+    assert final[1] >= final[2] >= final[3]

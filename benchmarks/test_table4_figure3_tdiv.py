@@ -1,0 +1,46 @@
+"""Table 4 + Figure 3: sensitivity to the diverted-store threshold t_div.
+
+Paper shape: larger t_div lets diverted replicas consume space that
+primaries will later want — utilization rises (99.8% at t_div=0.1) but
+failures rise with it; tiny t_div (0.005) almost eliminates diversion's
+benefit, capping utilization near 90%.
+"""
+
+from repro.analysis import ascii_plot, format_curve, format_sweep_table
+from repro.experiments import storage
+
+
+def test_table4_figure3(benchmark, report, bench_scale):
+    sweep = benchmark.pedantic(
+        lambda: storage.run_table4(**bench_scale), rounds=1, iterations=1
+    )
+    text = format_sweep_table(
+        sweep,
+        key_field="t_div",
+        key_label="t_div",
+        title="Table 4 - insertion statistics and utilization as t_div varies (t_pri=0.1)",
+        paper_key=lambda row: row["t_div"],
+    )
+    curves = storage.figure3_curves(sweep)
+    blocks = [text, "", "Figure 3 - cumulative failure ratio vs. utilization:"]
+    for t_div, curve in curves.items():
+        pts = [(round(u * 100, 1), round(r, 5)) for u, r in curve]
+        blocks.append(
+            format_curve(pts, ["util %", "cum. failure ratio"], title=f"  t_div={t_div}", max_points=8)
+        )
+    blocks.append(
+        ascii_plot(
+            {f"t_div={t}": [(u * 100, max(r, 1e-5)) for u, r in c]
+             for t, c in curves.items()},
+            title="Figure 3 (log-y, as in the paper):",
+            x_label="utilization %",
+            y_label="cumulative failure ratio",
+            logy=True,
+        )
+    )
+    report("table4_figure3_tdiv", "\n".join(blocks))
+
+    rows = {r["t_div"]: r for r in sweep.rows}
+    # Shape: utilization is monotone in t_div across the sweep extremes.
+    assert rows[0.1]["util_pct"] > rows[0.005]["util_pct"]
+    assert rows[0.05]["util_pct"] > rows[0.005]["util_pct"]

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Graceful degradation at high storage utilization (§3 in miniature).
+
+Drives a small PAST deployment towards 100% utilization with the web-proxy
+workload and prints, at each utilization checkpoint, the insert failure
+rate and how hard the two diversion mechanisms are working.  This is the
+qualitative story of Figures 2-5: diversion stays quiet below ~80%
+utilization, then absorbs the imbalance so that insert failures stay rare
+until the system is nearly full — and the failures that do happen are
+biased to large files.
+
+Run:  python examples/high_utilization.py
+"""
+
+import random
+
+from repro import PastConfig, PastNetwork
+from repro.workloads import D1, WebProxyWorkload
+
+
+def main() -> None:
+    config = PastConfig(l=32, k=5, t_pri=0.1, t_div=0.05, seed=3,
+                        cache_policy="none")
+    net = PastNetwork(config)
+    rng = random.Random(3)
+    net.build(D1.sample(80, rng, scale=0.25))
+    print(f"{len(net)} nodes, {net.total_capacity / 1e6:.0f} MB total, "
+          f"k={config.k}, t_pri={config.t_pri}, t_div={config.t_div}\n")
+
+    workload = WebProxyWorkload(
+        total_content_bytes=int(net.total_capacity * 1.7 / config.k),
+        max_bytes=int(138_000_000 * 0.25),
+        seed=3,
+    )
+    trace = workload.storage_trace()
+    owner = net.create_client("filler")
+    node_ids = [n.node_id for n in net.nodes()]
+
+    checkpoints = [0.5, 0.8, 0.9, 0.95, 0.98, 0.995]
+    next_cp = 0
+    failed_sizes = []
+    print(f"{'util':>6s} {'inserts':>8s} {'fail%':>7s} {'file-div%':>10s} "
+          f"{'repl-div%':>10s} {'median failed size':>19s}")
+    for event in trace:
+        result = net.insert(event.name, owner, event.size,
+                            node_ids[rng.randrange(len(node_ids))])
+        if not result.success:
+            failed_sizes.append(event.size)
+        stats = net.stats
+        while next_cp < len(checkpoints) and net.utilization() >= checkpoints[next_cp]:
+            med = sorted(failed_sizes)[len(failed_sizes) // 2] if failed_sizes else 0
+            print(f"{net.utilization():6.1%} {stats.insert_attempts:8d} "
+                  f"{stats.failure_ratio():7.2%} "
+                  f"{stats.file_diversion_ratio():10.2%} "
+                  f"{stats.replica_diversion_ratio():10.2%} "
+                  f"{med:16,d} B")
+            next_cp += 1
+
+    stats = net.stats
+    mean_size = sum(e.size for e in trace) / len(trace)
+    big_fails = sum(1 for s in failed_sizes if s > mean_size)
+    print(f"\nfinal: utilization {net.utilization():.1%}, "
+          f"{stats.insert_failures} failed inserts "
+          f"({big_fails / max(1, len(failed_sizes)):.0%} larger than the "
+          f"mean file size of {mean_size:,.0f} B)")
+
+
+if __name__ == "__main__":
+    main()

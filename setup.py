@@ -1,0 +1,10 @@
+"""Setup shim.
+
+This environment has no network access and no ``wheel`` package, so PEP 660
+editable installs are unavailable; this shim lets
+``pip install -e . --no-use-pep517`` perform a legacy develop install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro: a reproduction of PAST (Rowstron & Druschel, SOSP 2001).
+
+PAST is a large-scale, persistent peer-to-peer storage utility layered on
+the Pastry routing overlay.  This package implements the complete system:
+
+* :mod:`repro.core` -- PAST's storage management (replica and file
+  diversion) and caching (GreedyDual-Size), the paper's contribution.
+* :mod:`repro.pastry` -- the Pastry routing substrate.
+* :mod:`repro.netsim` -- the network emulation environment.
+* :mod:`repro.security` -- simulated smartcards, certificates and quotas.
+* :mod:`repro.erasure` -- Reed-Solomon file encoding (the 3.6 extension).
+* :mod:`repro.workloads` -- synthetic NLANR-web-proxy and filesystem
+  traces plus the d1-d4 node-capacity distributions.
+* :mod:`repro.experiments` -- drivers regenerating every table and figure
+  of the paper's evaluation (section 5).
+
+Quickstart::
+
+    from repro import PastConfig, PastNetwork
+
+    net = PastNetwork(PastConfig(l=16, k=3, seed=7))
+    net.build([64 * 1024 * 1024] * 32)
+    alice = net.create_client("alice")
+    gateway = net.nodes()[0].node_id
+
+    result = net.insert("article.txt", alice, size=12_000, client_id=gateway)
+    fetched = net.lookup(result.file_id, client_id=gateway)
+    assert fetched.success
+"""
+
+from .core import (
+    AuditReport,
+    InsertResult,
+    LookupResult,
+    NO_DIVERSION_CONFIG,
+    PAPER_CONFIG,
+    PastConfig,
+    PastNetwork,
+    PastNode,
+    ReclaimResult,
+    audit,
+)
+from .pastry import PastryNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PastConfig",
+    "PAPER_CONFIG",
+    "NO_DIVERSION_CONFIG",
+    "PastNetwork",
+    "PastNode",
+    "PastryNetwork",
+    "InsertResult",
+    "LookupResult",
+    "ReclaimResult",
+    "audit",
+    "AuditReport",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Reporting helpers: ASCII tables and curve summaries for experiments."""
+
+from .loadbalance import LoadBalanceStats, load_balance
+from .plot import ascii_plot
+from .report import (
+    format_caching_summary,
+    format_curve,
+    format_sweep_table,
+    format_table,
+    summarize_run,
+)
+
+__all__ = [
+    "format_table",
+    "format_sweep_table",
+    "format_curve",
+    "format_caching_summary",
+    "summarize_run",
+    "load_balance",
+    "LoadBalanceStats",
+    "ascii_plot",
+]

@@ -1,0 +1,96 @@
+"""Terminal plotting: render figure series as ASCII charts.
+
+The benchmark reports print the paper's figures as sampled tables; these
+helpers additionally render them as small ASCII line/scatter plots so the
+curve shapes (knees, crossovers) are visible at a glance in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    logy: bool = False,
+) -> str:
+    """Render one or more (x, y) series on a shared-axes ASCII canvas.
+
+    Each series gets a marker character; a legend is appended.  ``logy``
+    plots log10(y) (zero/negative values are clamped), matching the
+    paper's log-scale failure-ratio figures.
+    """
+    import math
+
+    points: Dict[str, List[Tuple[float, float]]] = {}
+    for name, xy in series.items():
+        cleaned = []
+        for x, y in xy:
+            if logy:
+                y = math.log10(max(y, 1e-9))
+            cleaned.append((float(x), float(y)))
+        if cleaned:
+            points[name] = cleaned
+    if not points:
+        return title + "\n(no data)"
+
+    all_x = [x for pts in points.values() for x, _ in pts]
+    all_y = [y for pts in points.values() for _, y in pts]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return min(width - 1, int((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def row(y: float) -> int:
+        return min(height - 1, int((y_hi - y) / (y_hi - y_lo) * (height - 1)))
+
+    for idx, (name, pts) in enumerate(points.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in pts:
+            grid[row(y)][col(x)] = marker
+
+    y_top = f"{y_hi:.3g}"
+    y_bot = f"{y_lo:.3g}"
+    gutter = max(len(y_top), len(y_bot)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    for r, cells in enumerate(grid):
+        if r == 0:
+            label = y_top.rjust(gutter - 1)
+        elif r == height - 1:
+            label = y_bot.rjust(gutter - 1)
+        else:
+            label = " " * (gutter - 1)
+        lines.append(f"{label}|" + "".join(cells))
+    axis = " " * gutter + "-" * width
+    lines.append(axis)
+    x_line = f"{x_lo:.3g}".ljust(width // 2) + f"{x_hi:.3g}".rjust(width - width // 2)
+    lines.append(" " * gutter + x_line)
+    footer = []
+    if x_label:
+        footer.append(f"x: {x_label}")
+    if y_label:
+        footer.append(("y: log10 " if logy else "y: ") + y_label)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(points)
+    )
+    if legend and len(points) > 1:
+        footer.append(legend)
+    if footer:
+        lines.append("  ".join(footer))
+    return "\n".join(lines)

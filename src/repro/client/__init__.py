@@ -1,0 +1,21 @@
+"""Client-side helpers layered on the PAST operations.
+
+Two application-level strategies the paper sketches but leaves to
+clients:
+
+* :mod:`repro.client.fragmenting` — §3.4: when an insert fails after all
+  file-diversion retries, "an application may choose to retry the
+  operation with a smaller file size (e.g. by fragmenting the file)".
+* :mod:`repro.client.striping` — §3.6: storing Reed-Solomon fragments at
+  separate nodes instead of k whole-file replicas.
+"""
+
+from .fragmenting import FragmentManifest, FragmentingClient
+from .striping import StripeManifest, StripingClient
+
+__all__ = [
+    "FragmentManifest",
+    "FragmentingClient",
+    "StripeManifest",
+    "StripingClient",
+]

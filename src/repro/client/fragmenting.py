@@ -1,0 +1,142 @@
+"""Fragmenting client: retry failed inserts with smaller pieces (§3.4).
+
+When PAST cannot place a file even after file diversion, the paper
+suggests the application "retry the operation with a smaller file size
+(e.g. by fragmenting the file) and/or a smaller number of replicas".
+:class:`FragmentingClient` implements exactly that policy: it first
+attempts a whole-file insert; on failure it splits the file into
+fixed-size fragments, inserts each as an independent PAST file, and
+returns a manifest from which the file can be fetched or reclaimed.
+
+Fragment inserts are all-or-nothing: if any fragment cannot be placed the
+already-stored fragments are reclaimed and the operation fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.errors import InsertFailedError
+from ..core.network import PastNetwork
+from ..security import Smartcard
+
+#: Default fragment size: comfortably below typical per-node free space.
+DEFAULT_FRAGMENT_BYTES = 256 * 1024
+
+
+@dataclass
+class FragmentManifest:
+    """Everything needed to fetch or reclaim a (possibly fragmented) file."""
+
+    name: str
+    total_size: int
+    fragment_size: int
+    file_ids: List[int] = field(default_factory=list)
+    fragmented: bool = False
+
+    @property
+    def n_fragments(self) -> int:
+        return len(self.file_ids)
+
+
+@dataclass
+class FragmentedLookup:
+    """Outcome of fetching via a manifest."""
+
+    success: bool
+    total_hops: int = 0
+    fetched_fragments: int = 0
+    content: Optional[bytes] = None
+
+
+class FragmentingClient:
+    """A PAST client that transparently falls back to fragmentation."""
+
+    def __init__(
+        self,
+        network: PastNetwork,
+        owner: Smartcard,
+        fragment_size: int = DEFAULT_FRAGMENT_BYTES,
+    ):
+        if fragment_size < 1:
+            raise ValueError("fragment_size must be positive")
+        self.network = network
+        self.owner = owner
+        self.fragment_size = fragment_size
+
+    # -------------------------------------------------------------- insert
+
+    def insert(
+        self,
+        name: str,
+        client_id: int,
+        size: Optional[int] = None,
+        content: Optional[bytes] = None,
+        k: Optional[int] = None,
+    ) -> FragmentManifest:
+        """Insert, fragmenting on failure.  Raises InsertFailedError if even
+        the fragments cannot be placed."""
+        if content is not None:
+            size = len(content)
+        if size is None:
+            raise ValueError("give size or content")
+
+        whole = self.network.insert(
+            name, self.owner, size=size, client_id=client_id, k=k, content=content
+        )
+        if whole.success:
+            return FragmentManifest(name, size, size, [whole.file_id], fragmented=False)
+
+        manifest = FragmentManifest(name, size, self.fragment_size, fragmented=True)
+        n_fragments = max(1, -(-size // self.fragment_size))
+        for i in range(n_fragments):
+            frag_size = min(self.fragment_size, size - i * self.fragment_size)
+            frag_content = None
+            if content is not None:
+                frag_content = content[i * self.fragment_size : i * self.fragment_size + frag_size]
+            result = self.network.insert(
+                f"{name}#frag{i}",
+                self.owner,
+                size=frag_size,
+                client_id=client_id,
+                k=k,
+                content=frag_content,
+            )
+            if not result.success:
+                self._rollback(manifest, client_id)
+                raise InsertFailedError(name, result.attempts, result.file_id)
+            manifest.file_ids.append(result.file_id)
+        return manifest
+
+    def _rollback(self, manifest: FragmentManifest, client_id: int) -> None:
+        for fid in manifest.file_ids:
+            self.network.reclaim(fid, self.owner, client_id)
+        manifest.file_ids.clear()
+
+    # -------------------------------------------------------------- lookup
+
+    def lookup(self, manifest: FragmentManifest, client_id: int) -> FragmentedLookup:
+        """Fetch every fragment; reassemble content when materialized."""
+        out = FragmentedLookup(success=True)
+        pieces: List[Optional[bytes]] = []
+        for fid in manifest.file_ids:
+            result = self.network.lookup(fid, client_id)
+            if not result.success:
+                return FragmentedLookup(success=False, total_hops=out.total_hops)
+            out.total_hops += result.hops
+            out.fetched_fragments += 1
+            pieces.append(result.content)
+        if pieces and all(p is not None for p in pieces):
+            out.content = b"".join(pieces)
+        return out
+
+    # ------------------------------------------------------------- reclaim
+
+    def reclaim(self, manifest: FragmentManifest, client_id: int) -> bool:
+        """Reclaim every fragment of the file."""
+        ok = True
+        for fid in manifest.file_ids:
+            result = self.network.reclaim(fid, self.owner, client_id)
+            ok = ok and result.success
+        return ok

@@ -1,0 +1,172 @@
+"""Striping client: Reed-Solomon fragments as PAST files (§3.6).
+
+Instead of k whole-file replicas, the file is split into ``n_data``
+blocks, extended with ``n_parity`` checksum blocks, and each of the
+``n_data + n_parity`` shards is stored as an *individual* PAST file with
+``k = 1`` — the erasure code, not replication, supplies the redundancy.
+Storage overhead drops from ``k`` to ``(n + m)/n`` at the cost of
+contacting up to ``n_data`` nodes per fetch, the §3.6 trade-off.
+
+Since shard fileIds are SHA-1 outputs, the shards land on uniformly
+distributed (hence diverse) nodes, preserving PAST's failure-independence
+argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.errors import InsertFailedError
+from ..core.network import PastNetwork
+from ..erasure import FileStripe, decode_file, encode_file
+from ..security import Smartcard
+
+
+@dataclass
+class StripeManifest:
+    """Metadata needed to reassemble a striped file."""
+
+    name: str
+    n_data: int
+    n_parity: int
+    original_size: int
+    shard_size: int
+    shard_file_ids: List[int] = field(default_factory=list)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_file_ids)
+
+    def stripe_meta(self) -> FileStripe:
+        """A shard-less FileStripe carrying the decode parameters."""
+        return FileStripe([], self.n_data, self.n_parity, self.original_size)
+
+
+@dataclass
+class StripedLookup:
+    """Outcome of a striped fetch."""
+
+    success: bool
+    content: Optional[bytes] = None
+    shards_fetched: int = 0
+    total_hops: int = 0
+
+
+class StripingClient:
+    """A PAST client that stores files as RS stripes."""
+
+    def __init__(
+        self,
+        network: PastNetwork,
+        owner: Smartcard,
+        n_data: int = 8,
+        n_parity: int = 4,
+    ):
+        if n_data < 1 or n_parity < 0:
+            raise ValueError("need n_data >= 1 and n_parity >= 0")
+        self.network = network
+        self.owner = owner
+        self.n_data = n_data
+        self.n_parity = n_parity
+
+    def storage_overhead(self) -> float:
+        """The (n + m)/n overhead factor of this client's code."""
+        return (self.n_data + self.n_parity) / self.n_data
+
+    # -------------------------------------------------------------- insert
+
+    #: Attempts to find a distinct storage node per shard (see below).
+    MAX_PLACEMENT_ATTEMPTS = 8
+
+    def insert(self, name: str, content: bytes, client_id: int) -> StripeManifest:
+        """Encode and store every shard; all-or-nothing with rollback.
+
+        §3.6 relies on "storing fragments of a file at separate nodes":
+        losing one node must cost at most one shard.  FileIds are hashes,
+        so two shards can land on the same node by chance; the client
+        detects this from the store receipt and re-inserts the shard under
+        a perturbed name (a fresh fileId, hence a fresh location) until
+        holders are distinct.
+        """
+        stripe = encode_file(content, self.n_data, self.n_parity)
+        manifest = StripeManifest(
+            name,
+            self.n_data,
+            self.n_parity,
+            original_size=len(content),
+            shard_size=stripe.shard_size,
+        )
+        used_holders = set()
+        for i, shard in enumerate(stripe.shards):
+            placed = None
+            for attempt in range(self.MAX_PLACEMENT_ATTEMPTS):
+                suffix = f"#p{attempt}" if attempt else ""
+                result = self.network.insert(
+                    f"{name}#shard{i}{suffix}",
+                    self.owner,
+                    client_id=client_id,
+                    k=1,
+                    content=shard,
+                )
+                if not result.success:
+                    self.reclaim(manifest, client_id)
+                    raise InsertFailedError(name, result.attempts)
+                holder = result.receipts[0].node_id
+                if holder not in used_holders:
+                    used_holders.add(holder)
+                    placed = result.file_id
+                    break
+                # Collision: same node already holds another shard of this
+                # file.  Free it and try a different region of the space.
+                self.network.reclaim(result.file_id, self.owner, client_id)
+            if placed is None:
+                # Could not find a distinct node (tiny networks); accept
+                # the last placement rather than fail the insert.
+                result = self.network.insert(
+                    f"{name}#shard{i}#final",
+                    self.owner,
+                    client_id=client_id,
+                    k=1,
+                    content=shard,
+                )
+                if not result.success:
+                    self.reclaim(manifest, client_id)
+                    raise InsertFailedError(name, result.attempts)
+                placed = result.file_id
+            manifest.shard_file_ids.append(placed)
+        return manifest
+
+    # -------------------------------------------------------------- lookup
+
+    def lookup(self, manifest: StripeManifest, client_id: int) -> StripedLookup:
+        """Fetch shards until ``n_data`` are recovered, then decode.
+
+        Shards are requested in index order; missing ones (e.g. lost with
+        their single storing node) are simply skipped while enough others
+        survive.
+        """
+        out = StripedLookup(success=False)
+        surviving: Dict[int, bytes] = {}
+        for i, fid in enumerate(manifest.shard_file_ids):
+            if len(surviving) >= manifest.n_data:
+                break
+            result = self.network.lookup(fid, client_id)
+            if result.success and result.content is not None:
+                surviving[i] = result.content
+                out.shards_fetched += 1
+                out.total_hops += result.hops
+        if len(surviving) < manifest.n_data:
+            return out
+        out.content = decode_file(manifest.stripe_meta(), surviving)
+        out.success = True
+        return out
+
+    # ------------------------------------------------------------- reclaim
+
+    def reclaim(self, manifest: StripeManifest, client_id: int) -> bool:
+        ok = True
+        for fid in manifest.shard_file_ids:
+            result = self.network.reclaim(fid, self.owner, client_id)
+            ok = ok and result.success
+        return ok

@@ -1,0 +1,98 @@
+"""Configuration for a PAST deployment.
+
+The defaults mirror the paper's experimental setup (§5): ``b = 4``,
+``l = 32``, ``k = 5`` replicas, replica-diversion thresholds
+``t_pri = 0.1`` and ``t_div = 0.05``, cache-insertion fraction ``c = 1``
+and the GreedyDual-Size eviction policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class PastConfig:
+    """Tunable parameters of a PAST network.
+
+    Attributes
+    ----------
+    b:
+        Pastry digit width in bits (routing-table branching ``2**b``).
+    l:
+        Leaf-set (and neighborhood-set) size.
+    k:
+        Replication factor; must satisfy ``k <= l/2 + 1`` so that a
+        coordinator's leaf set always contains the whole replica set.
+    t_pri:
+        Acceptance threshold for *primary* replicas: node ``N`` rejects
+        file ``D`` if ``size(D) / free(N) > t_pri``.
+    t_div:
+        Acceptance threshold for *diverted* replicas (``t_div < t_pri`` so
+        nodes keep room for primaries and divert only to nodes with
+        significantly more free space).
+    max_insert_attempts:
+        Total fileId salts tried per insert: the original plus up to three
+        re-salted retries (file diversion, §3.4).
+    cache_policy:
+        ``"gds"`` (GreedyDual-Size), ``"lru"`` or ``"none"``.
+    cache_fraction:
+        The fraction *c* of a node's current cache size above which a
+        routed-through file is not cached (§4).
+    divert_target_policy:
+        ``"max_free"`` per the paper; ``"random"`` is an ablation.
+    admission_ratio:
+        Nodes whose advertised capacity differs from the leaf-set average
+        by more than this factor are split or rejected (§3.2, "two orders
+        of magnitude").
+    randomize_routing:
+        Enable Pastry's randomized routing (security hardening, §2.3).
+    seed:
+        Master seed for all randomness in the deployment.
+    """
+
+    b: int = 4
+    l: int = 32
+    k: int = 5
+    t_pri: float = 0.1
+    t_div: float = 0.05
+    max_insert_attempts: int = 4
+    cache_policy: str = "gds"
+    cache_fraction: float = 1.0
+    divert_target_policy: str = "max_free"
+    admission_ratio: float = 100.0
+    randomize_routing: bool = False
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if self.k > self.l // 2 + 1:
+            raise ValueError(f"k={self.k} exceeds l/2+1={self.l // 2 + 1}")
+        if not 0.0 <= self.t_div:
+            raise ValueError("t_div must be non-negative")
+        if self.t_pri < self.t_div:
+            raise ValueError("t_pri must be >= t_div")
+        if self.cache_policy not in ("gds", "lru", "none"):
+            raise ValueError(f"unknown cache policy {self.cache_policy!r}")
+        if self.divert_target_policy not in ("max_free", "random"):
+            raise ValueError(f"unknown diversion policy {self.divert_target_policy!r}")
+        if self.max_insert_attempts < 1:
+            raise ValueError("need at least one insert attempt")
+
+    def with_overrides(self, **kwargs) -> "PastConfig":
+        """A copy of this config with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Configuration matching the paper's §5 experiments.
+PAPER_CONFIG = PastConfig()
+
+#: Configuration with all storage management disabled: primary nodes accept
+#: anything that fits (t_pri = 1), diverted stores accept nothing
+#: (t_div = 0) and a single insert attempt is made (no re-salting).  This
+#: is the paper's first experiment demonstrating the need for explicit
+#: load balancing.
+NO_DIVERSION_CONFIG = PastConfig(
+    t_pri=1.0, t_div=0.0, max_insert_attempts=1, cache_policy="none"
+)

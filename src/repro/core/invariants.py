@@ -1,0 +1,169 @@
+"""Whole-system invariant auditing.
+
+The paper verifies "that the storage invariants are maintained properly
+despite random node failures and recoveries".  This module implements that
+audit for tests and examples:
+
+* **k-replica invariant** — for every live file, each of the k live nodes
+  numerically closest to the fileId holds either a replica or a pointer to
+  a distinct diverted replica (files the network has flagged as degraded
+  under extreme utilization are exempt, per §3.5).
+* **pointer integrity** — every diversion pointer targets a live node that
+  actually holds the replica, and the replica's referrer bookkeeping
+  matches.
+* **capacity** — no node stores more replica bytes than its capacity, and
+  replica + cache bytes also fit.
+* **accounting** — the network's global byte counters equal the per-node
+  sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..pastry import idspace
+from .network import PastNetwork
+
+
+@dataclass
+class Violation:
+    """One invariant violation found by the auditor."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass
+class AuditReport:
+    """Result of a full audit."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    nodes_checked: int = 0
+    degraded_exempt: int = 0
+    #: Files with no live physical replica at all.  A file is lost exactly
+    #: when all k replicas fail within one recovery period (§2.1) — a
+    #: documented availability limit, not an invariant violation.
+    lost_files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, kind: str, detail: str) -> None:
+        self.violations.append(Violation(kind, detail))
+
+
+def audit(network: PastNetwork, check_replicas: bool = True) -> AuditReport:
+    """Audit every invariant; returns a report listing all violations."""
+    report = AuditReport()
+    _audit_nodes(network, report)
+    if check_replicas:
+        _audit_files(network, report)
+    _audit_accounting(network, report)
+    return report
+
+
+def _audit_nodes(network: PastNetwork, report: AuditReport) -> None:
+    for node in network.nodes():
+        report.nodes_checked += 1
+        store = node.store
+        replica_bytes = sum(r.size for r in store.primaries.values()) + sum(
+            r.size for r in store.diverted_in.values()
+        )
+        if replica_bytes != store.used:
+            report.add(
+                "accounting",
+                f"node {node.node_id:#x}: used={store.used} but replicas sum to {replica_bytes}",
+            )
+        if store.used > store.capacity:
+            report.add(
+                "capacity",
+                f"node {node.node_id:#x}: replicas {store.used} exceed capacity {store.capacity}",
+            )
+        if store.used + store.cache.bytes_used > store.capacity:
+            report.add(
+                "capacity",
+                f"node {node.node_id:#x}: replicas+cache exceed capacity",
+            )
+        for fid, pointer in store.pointers.items():
+            target = network.past_node_or_none(pointer.target_id)
+            if target is None:
+                report.add(
+                    "pointer", f"pointer for {fid:#x} targets dead node {pointer.target_id:#x}"
+                )
+                continue
+            if not target.store.holds_file(fid):
+                report.add(
+                    "pointer",
+                    f"pointer for {fid:#x} targets node without the replica",
+                )
+                continue
+            replica = target.store.get_replica(fid)
+            if replica.diverted and node.node_id not in replica.referrers:
+                report.add(
+                    "pointer",
+                    f"replica of {fid:#x} on {target.node_id:#x} missing referrer "
+                    f"{node.node_id:#x}",
+                )
+
+
+def _audit_files(network: PastNetwork, report: AuditReport) -> None:
+    # Index of fids with at least one live physical replica.
+    held = set()
+    for node in network.nodes():
+        held.update(node.store.primaries)
+        held.update(node.store.diverted_in)
+    for fid in network.live_file_ids():
+        report.files_checked += 1
+        if fid not in held:
+            report.lost_files += 1
+            continue
+        if fid in network.degraded_files:
+            report.degraded_exempt += 1
+            continue
+        cert = network.certificate_of(fid)
+        k = cert.k if cert is not None else network.config.k
+        key = idspace.routing_key(fid)
+        kset = network.pastry.k_closest_live(key, k)
+        targets_seen = set()
+        for member_id in kset:
+            member = network.past_node_or_none(member_id)
+            if member is None:
+                report.add("replicas", f"kset member of {fid:#x} missing from storage layer")
+                continue
+            if member.store.holds_file(fid):
+                targets_seen.add(member_id)
+                continue
+            pointer = member.store.pointers.get(fid)
+            if pointer is None:
+                report.add(
+                    "replicas",
+                    f"file {fid:#x}: kset member {member_id:#x} has neither replica nor pointer",
+                )
+                continue
+            if pointer.target_id in targets_seen:
+                report.add(
+                    "replicas",
+                    f"file {fid:#x}: two kset entries resolve to the same replica",
+                )
+            targets_seen.add(pointer.target_id)
+
+
+def _audit_accounting(network: PastNetwork, report: AuditReport) -> None:
+    total_used = sum(n.store.used for n in network.nodes())
+    if total_used != network.bytes_stored:
+        report.add(
+            "accounting",
+            f"global bytes_stored={network.bytes_stored} but per-node sum is {total_used}",
+        )
+    total_capacity = sum(n.store.capacity for n in network.nodes())
+    if total_capacity != network.total_capacity:
+        report.add(
+            "accounting",
+            f"global capacity={network.total_capacity} but per-node sum is {total_capacity}",
+        )

@@ -1,0 +1,195 @@
+"""Statistics collection for PAST experiments.
+
+Records per-operation events (with the global storage utilization at the
+time of the event) so the evaluation harness can rebuild every series the
+paper plots: cumulative failure ratio vs. utilization (Figs. 2-3), file
+diversion ratios (Fig. 4), replica-diversion ratio (Fig. 5), failed-insert
+sizes (Figs. 6-7), and cache hit rate / routing hops vs. utilization
+(Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class InsertEvent:
+    """One client-level insert operation (spanning all re-salt attempts)."""
+
+    size: int
+    success: bool
+    utilization: float  # global utilization when the operation completed
+    file_diversions: int  # number of re-salts used (0 = first id stuck)
+    replica_diversions: int  # diverted replicas created by the final attempt
+    replicas_stored: int  # total replicas created (k on success, else 0)
+
+
+@dataclass
+class LookupEvent:
+    """One client-level lookup operation."""
+
+    file_id: int
+    hops: int
+    success: bool
+    source: Optional[str]  # "primary" | "diverted" | "pointer" | "cache"
+    utilization: float
+    responder_id: Optional[int] = None  # node that served the request
+    distance: float = 0.0  # proximity-metric length of the route
+
+
+@dataclass
+class PastStats:
+    """Aggregate event log for one PAST network."""
+
+    inserts: List[InsertEvent] = field(default_factory=list)
+    lookups: List[LookupEvent] = field(default_factory=list)
+    reclaim_count: int = 0
+
+    # ------------------------------------------------------------ recording
+
+    def record_insert(self, event: InsertEvent) -> None:
+        self.inserts.append(event)
+
+    def record_lookup(self, event: LookupEvent) -> None:
+        self.lookups.append(event)
+
+    # ------------------------------------------------------------ summaries
+
+    @property
+    def insert_attempts(self) -> int:
+        return len(self.inserts)
+
+    @property
+    def insert_successes(self) -> int:
+        return sum(1 for e in self.inserts if e.success)
+
+    @property
+    def insert_failures(self) -> int:
+        return sum(1 for e in self.inserts if not e.success)
+
+    def success_ratio(self) -> float:
+        return self.insert_successes / len(self.inserts) if self.inserts else 0.0
+
+    def failure_ratio(self) -> float:
+        return self.insert_failures / len(self.inserts) if self.inserts else 0.0
+
+    def file_diversion_ratio(self) -> float:
+        """Fraction of *successful* inserts that required file diversion.
+
+        Matches Table 2's "File diversion" column: the percentage of
+        successful inserts that involved re-salting (possibly multiple
+        times).
+        """
+        succ = [e for e in self.inserts if e.success]
+        if not succ:
+            return 0.0
+        return sum(1 for e in succ if e.file_diversions > 0) / len(succ)
+
+    def replica_diversion_ratio(self) -> float:
+        """Fraction of stored replicas that are diverted (Table 2 column)."""
+        stored = sum(e.replicas_stored for e in self.inserts)
+        diverted = sum(e.replica_diversions for e in self.inserts if e.success)
+        return diverted / stored if stored else 0.0
+
+    def cumulative_failure_curve(self, bins: int = 100):
+        """(utilization, cumulative failure ratio) points, in event order.
+
+        The paper defines the cumulative failure ratio at utilization ``u``
+        as failed inserts over all inserts issued up to the point where
+        ``u`` was reached (Figures 2 and 3).  Returns one point per insert
+        event, downsampled to roughly ``bins`` points.
+        """
+        points = []
+        failed = 0
+        for i, e in enumerate(self.inserts, start=1):
+            if not e.success:
+                failed += 1
+            points.append((e.utilization, failed / i))
+        if bins and len(points) > bins:
+            step = len(points) / bins
+            points = [points[int(i * step)] for i in range(bins)] + [points[-1]]
+        return points
+
+    def file_diversion_curves(self):
+        """Cumulative ratios of 1x/2x/3x-diverted inserts and failures vs.
+        utilization (Figure 4). Returns a list of
+        ``(utilization, r1, r2, r3, failure_ratio)`` tuples."""
+        out = []
+        counts = [0, 0, 0]
+        failed = 0
+        for i, e in enumerate(self.inserts, start=1):
+            if e.success and e.file_diversions > 0:
+                idx = min(e.file_diversions, 3) - 1
+                counts[idx] += 1
+            if not e.success:
+                failed += 1
+            out.append(
+                (e.utilization, counts[0] / i, counts[1] / i, counts[2] / i, failed / i)
+            )
+        return out
+
+    def replica_diversion_curve(self):
+        """Cumulative diverted/stored replica ratio vs. utilization (Fig. 5)."""
+        out = []
+        stored = 0
+        diverted = 0
+        for e in self.inserts:
+            stored += e.replicas_stored
+            if e.success:
+                diverted += e.replica_diversions
+            if stored:
+                out.append((e.utilization, diverted / stored))
+        return out
+
+    def failed_insert_sizes(self):
+        """(utilization, size) scatter of failed inserts (Figures 6-7)."""
+        return [(e.utilization, e.size) for e in self.inserts if not e.success]
+
+    # ------------------------------------------------------------- lookups
+
+    def lookup_success_ratio(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return sum(1 for e in self.lookups if e.success) / len(self.lookups)
+
+    def global_cache_hit_ratio(self) -> float:
+        """Fraction of successful lookups served from a cached copy."""
+        succ = [e for e in self.lookups if e.success]
+        if not succ:
+            return 0.0
+        return sum(1 for e in succ if e.source == "cache") / len(succ)
+
+    def mean_lookup_hops(self) -> float:
+        succ = [e for e in self.lookups if e.success]
+        if not succ:
+            return 0.0
+        return sum(e.hops for e in succ) / len(succ)
+
+    def caching_curve(self, bucket_width: float = 0.05):
+        """Per-utilization-bucket cache hit rate and mean hops (Figure 8).
+
+        Returns ``(bucket_midpoint, hit_ratio, mean_hops, count)`` tuples.
+        """
+        buckets = {}
+        for e in self.lookups:
+            if not e.success:
+                continue
+            key = int(e.utilization / bucket_width)
+            hits, hops, count = buckets.get(key, (0, 0, 0))
+            buckets[key] = (hits + (e.source == "cache"), hops + e.hops, count + 1)
+        out = []
+        for key in sorted(buckets):
+            hits, hops, count = buckets[key]
+            mid = (key + 0.5) * bucket_width
+            out.append((mid, hits / count, hops / count, count))
+        return out
+
+    def served_per_node(self) -> dict:
+        """Requests served per responder node (for load-balance analysis)."""
+        out: dict = {}
+        for e in self.lookups:
+            if e.success and e.responder_id is not None:
+                out[e.responder_id] = out.get(e.responder_id, 0) + 1
+        return out

@@ -1,0 +1,218 @@
+"""Per-node storage: replicas, diversion pointers and the acceptance policy.
+
+Every PAST node contributes an advertised storage capacity.  The store
+tracks three kinds of entries:
+
+* **primary replicas** — the node is one of the k numerically closest to
+  the fileId and holds the file itself;
+* **diverted replicas** — the node holds the file on behalf of a leaf-set
+  neighbor that could not accommodate it (§3.3);
+* **diversion pointers** — file-table entries referencing a diverted
+  replica stored elsewhere.  Node *A* (the primary that diverted) and node
+  *C* (the k+1-th closest) both hold one, so a single node failure never
+  makes the diverted replica unreachable.
+
+Replica bytes are charged against capacity; pointers are metadata and are
+not charged.  Cached files live in whatever space is left and are evicted
+on demand (see :mod:`repro.core.cache`).
+
+The acceptance policy is the paper's ``SD/FN`` rule: node ``N`` rejects
+file ``D`` iff ``size(D)/free(N) > t``, with ``t = t_pri`` for primary
+replicas and the stricter ``t = t_div`` for diverted ones.  The rule
+accepts all but oversized files while utilization is low, discriminates
+against large files as free space shrinks, and keeps head-room for
+primaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Set
+
+from ..security import FileCertificate
+from .cache import CacheManager, make_policy
+from .errors import CapacityError
+
+
+@dataclass
+class StoredReplica:
+    """A replica held on this node's disk."""
+
+    certificate: FileCertificate
+    diverted: bool = False
+    #: Nodes holding a diversion pointer to this replica (for diverted
+    #: replicas: the diverting primary A and the backup C).  These pairs
+    #: exchange explicit keep-alives when leaf sets drift apart (§3.5).
+    referrers: Set[int] = field(default_factory=set)
+
+    @property
+    def file_id(self) -> int:
+        return self.certificate.file_id
+
+    @property
+    def size(self) -> int:
+        return self.certificate.size
+
+
+@dataclass
+class DiversionPointer:
+    """A file-table entry referencing a replica diverted to another node."""
+
+    certificate: FileCertificate
+    target_id: int
+    #: True for the diverting primary node A (the pointer that serves
+    #: lookups); False for the backup pointer on node C.
+    primary: bool = True
+
+    @property
+    def file_id(self) -> int:
+        return self.certificate.file_id
+
+    @property
+    def size(self) -> int:
+        return self.certificate.size
+
+
+class LocalStore:
+    """Storage contributed by one PAST node.
+
+    ``accounting`` (optional) is called with a byte delta whenever replica
+    usage changes, letting the network maintain global utilization
+    counters in O(1).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        cache_policy: str = "gds",
+        cache_fraction: float = 1.0,
+        accounting: Optional[Callable[[int], None]] = None,
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.used = 0  # bytes held by primary + diverted replicas
+        self._accounting = accounting
+        self.primaries: Dict[int, StoredReplica] = {}
+        self.diverted_in: Dict[int, StoredReplica] = {}
+        self.pointers: Dict[int, DiversionPointer] = {}
+        self.cache = CacheManager(
+            make_policy(cache_policy),
+            available_fn=self.cache_space,
+            insert_fraction=cache_fraction,
+        )
+
+    # ------------------------------------------------------------ capacity
+
+    @property
+    def free(self) -> int:
+        """Remaining free space ``F_N`` (cached files do not count as used)."""
+        return self.capacity - self.used
+
+    def cache_space(self) -> int:
+        """The 'unused portion of advertised disk space' available to cache."""
+        return self.capacity - self.used
+
+    def utilization(self) -> float:
+        return self.used / self.capacity if self.capacity else 1.0
+
+    def can_accept(self, size: int, threshold: float) -> bool:
+        """The paper's acceptance rule: reject iff ``size/free > threshold``."""
+        free = self.free
+        if size > free:
+            return False
+        if free <= 0:
+            return size == 0
+        return size / free <= threshold
+
+    # ------------------------------------------------------------- replicas
+
+    def _charge(self, delta: int) -> None:
+        self.used += delta
+        if self._accounting is not None:
+            self._accounting(delta)
+        if delta > 0:
+            # New replica bytes may displace cached files.
+            self.cache.shrink_to(self.cache_space())
+
+    def store_replica(self, certificate: FileCertificate, diverted: bool) -> StoredReplica:
+        """Store a replica unconditionally (policy checks happen before).
+
+        Raises :class:`CapacityError` if the bytes genuinely do not fit;
+        callers are expected to have applied :meth:`can_accept` first.
+        """
+        fid = certificate.file_id
+        if fid in self.primaries or fid in self.diverted_in:
+            raise CapacityError(f"replica of {fid:#x} already stored here")
+        if certificate.size > self.free:
+            raise CapacityError("replica exceeds free space")
+        replica = StoredReplica(certificate, diverted=diverted)
+        if diverted:
+            self.diverted_in[fid] = replica
+        else:
+            self.primaries[fid] = replica
+        # A replica supersedes any cached copy of the same file.
+        self.cache.remove(fid)
+        self._charge(certificate.size)
+        return replica
+
+    def drop_replica(self, file_id: int) -> Optional[StoredReplica]:
+        """Remove a replica (either kind); returns it if present."""
+        replica = self.primaries.pop(file_id, None)
+        if replica is None:
+            replica = self.diverted_in.pop(file_id, None)
+        if replica is not None:
+            self._charge(-replica.size)
+        return replica
+
+    def get_replica(self, file_id: int) -> Optional[StoredReplica]:
+        return self.primaries.get(file_id) or self.diverted_in.get(file_id)
+
+    # ------------------------------------------------------------- pointers
+
+    def add_pointer(
+        self, certificate: FileCertificate, target_id: int, primary: bool
+    ) -> DiversionPointer:
+        pointer = DiversionPointer(certificate, target_id, primary=primary)
+        self.pointers[certificate.file_id] = pointer
+        return pointer
+
+    def drop_pointer(self, file_id: int) -> Optional[DiversionPointer]:
+        return self.pointers.pop(file_id, None)
+
+    # -------------------------------------------------------------- queries
+
+    def holds_file(self, file_id: int) -> bool:
+        """Replica (either kind) present locally — satisfies a lookup."""
+        return file_id in self.primaries or file_id in self.diverted_in
+
+    def references_file(self, file_id: int) -> bool:
+        """Replica or diversion pointer present — satisfies the k-invariant."""
+        return self.holds_file(file_id) or file_id in self.pointers
+
+    def file_ids(self) -> Iterable[int]:
+        """All fileIds this node is responsible for (replicas + pointers)."""
+        seen = set(self.primaries)
+        seen.update(self.diverted_in)
+        seen.update(self.pointers)
+        return seen
+
+    def certificate_for(self, file_id: int) -> Optional[FileCertificate]:
+        replica = self.get_replica(file_id)
+        if replica is not None:
+            return replica.certificate
+        pointer = self.pointers.get(file_id)
+        return pointer.certificate if pointer is not None else None
+
+    def snapshot(self) -> dict:
+        """Summary counters for stats and debugging."""
+        return {
+            "capacity": self.capacity,
+            "used": self.used,
+            "free": self.free,
+            "primaries": len(self.primaries),
+            "diverted_in": len(self.diverted_in),
+            "pointers": len(self.pointers),
+            "cached": len(self.cache),
+            "cache_bytes": self.cache.bytes_used,
+        }

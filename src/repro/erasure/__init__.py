@@ -1,0 +1,23 @@
+"""Reed-Solomon file encoding (the §3.6 extension).
+
+The paper observes that storing k complete copies is not the most
+storage-efficient route to availability: with Reed-Solomon encoding,
+adding m checksum blocks to n data blocks (all equal size) tolerates m
+losses at a storage overhead of (m + n)/n instead of k.  Exploring this
+was left as future work; this package implements it — a systematic RS
+code over GF(2^8) with file striping helpers and an overhead model used by
+the ablation benchmark.
+"""
+
+from .gf256 import GF256
+from .rs import ReedSolomonCode
+from .striping import FileStripe, decode_file, encode_file, storage_overhead
+
+__all__ = [
+    "GF256",
+    "ReedSolomonCode",
+    "FileStripe",
+    "encode_file",
+    "decode_file",
+    "storage_overhead",
+]

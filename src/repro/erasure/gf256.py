@@ -1,0 +1,126 @@
+"""Arithmetic in GF(2^8) with the AES/RS polynomial x^8+x^4+x^3+x^2+1.
+
+Multiplication and division use exp/log tables built once at import time.
+All field elements are ints in [0, 256).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Reducing polynomial 0x11d (x^8 + x^4 + x^3 + x^2 + 1), generator 2.
+_POLY = 0x11D
+
+
+def _build_tables():
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _POLY
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+class GF256:
+    """Static helpers for GF(2^8) arithmetic."""
+
+    ORDER = 256
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Addition (= subtraction) is XOR in characteristic 2."""
+        return a ^ b
+
+    sub = add
+
+    @staticmethod
+    def mul(a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return _EXP[_LOG[a] + _LOG[b]]
+
+    @staticmethod
+    def div(a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(256)")
+        if a == 0:
+            return 0
+        return _EXP[(_LOG[a] - _LOG[b]) % 255]
+
+    @staticmethod
+    def inv(a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(256)")
+        return _EXP[255 - _LOG[a]]
+
+    @staticmethod
+    def pow(a: int, n: int) -> int:
+        if a == 0:
+            return 0 if n else 1
+        return _EXP[(_LOG[a] * n) % 255]
+
+    # ------------------------------------------------------------- matrices
+
+    @staticmethod
+    def mat_mul(a: List[List[int]], b: List[List[int]]) -> List[List[int]]:
+        """Matrix product over GF(256)."""
+        rows, inner, cols = len(a), len(b), len(b[0])
+        out = [[0] * cols for _ in range(rows)]
+        for i in range(rows):
+            ai = a[i]
+            oi = out[i]
+            for t in range(inner):
+                coeff = ai[t]
+                if coeff == 0:
+                    continue
+                bt = b[t]
+                for j in range(cols):
+                    if bt[j]:
+                        oi[j] ^= GF256.mul(coeff, bt[j])
+        return out
+
+    @staticmethod
+    def mat_vec(a: List[List[int]], v: List[int]) -> List[int]:
+        """Matrix-vector product over GF(256)."""
+        out = [0] * len(a)
+        for i, row in enumerate(a):
+            acc = 0
+            for coeff, x in zip(row, v):
+                if coeff and x:
+                    acc ^= GF256.mul(coeff, x)
+            out[i] = acc
+        return out
+
+    @staticmethod
+    def mat_invert(m: List[List[int]]) -> List[List[int]]:
+        """Gauss-Jordan inversion over GF(256); raises on singular input."""
+        n = len(m)
+        aug = [list(row) + [int(i == j) for j in range(n)] for i, row in enumerate(m)]
+        for col in range(n):
+            pivot = next((r for r in range(col, n) if aug[r][col]), None)
+            if pivot is None:
+                raise ValueError("matrix is singular over GF(256)")
+            aug[col], aug[pivot] = aug[pivot], aug[col]
+            inv_p = GF256.inv(aug[col][col])
+            aug[col] = [GF256.mul(x, inv_p) for x in aug[col]]
+            for r in range(n):
+                if r != col and aug[r][col]:
+                    factor = aug[r][col]
+                    aug[r] = [
+                        x ^ GF256.mul(factor, y) for x, y in zip(aug[r], aug[col])
+                    ]
+        return [row[n:] for row in aug]
+
+    @staticmethod
+    def vandermonde(rows: int, cols: int) -> List[List[int]]:
+        """The Vandermonde matrix V[i][j] = i^j over GF(256)."""
+        return [[GF256.pow(i, j) for j in range(cols)] for i in range(rows)]

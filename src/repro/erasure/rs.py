@@ -1,0 +1,97 @@
+"""Systematic Reed-Solomon coding over GF(256).
+
+The encoding matrix is a Vandermonde matrix transformed so its top
+``n_data`` rows are the identity (the classic construction): the first
+``n_data`` output shards are the data itself, followed by ``n_parity``
+checksum shards.  Any ``n_data`` surviving shards reconstruct the data by
+inverting the corresponding rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .gf256 import GF256
+
+
+class ReedSolomonCode:
+    """An (n_data + n_parity, n_data) systematic RS erasure code."""
+
+    def __init__(self, n_data: int, n_parity: int):
+        if n_data < 1 or n_parity < 0:
+            raise ValueError("need n_data >= 1 and n_parity >= 0")
+        if n_data + n_parity > GF256.ORDER:
+            raise ValueError("n_data + n_parity cannot exceed 256 over GF(256)")
+        self.n_data = n_data
+        self.n_parity = n_parity
+        self.n_total = n_data + n_parity
+        self.matrix = self._build_matrix(n_data, self.n_total)
+
+    @staticmethod
+    def _build_matrix(n_data: int, n_total: int) -> List[List[int]]:
+        vander = GF256.vandermonde(n_total, n_data)
+        top_inv = GF256.mat_invert([row[:] for row in vander[:n_data]])
+        return GF256.mat_mul(vander, top_inv)
+
+    # ------------------------------------------------------------- encoding
+
+    def encode(self, data_shards: Sequence[bytes]) -> List[bytes]:
+        """Produce all ``n_total`` shards (data first, then parity).
+
+        All data shards must have equal length.
+        """
+        if len(data_shards) != self.n_data:
+            raise ValueError(f"expected {self.n_data} data shards")
+        length = len(data_shards[0])
+        if any(len(s) != length for s in data_shards):
+            raise ValueError("data shards must be of equal length")
+        shards = [bytes(s) for s in data_shards]
+        for r in range(self.n_data, self.n_total):
+            row = self.matrix[r]
+            out = bytearray(length)
+            for coeff, shard in zip(row, data_shards):
+                if coeff == 0:
+                    continue
+                for i, byte in enumerate(shard):
+                    if byte:
+                        out[i] ^= GF256.mul(coeff, byte)
+            shards.append(bytes(out))
+        return shards
+
+    # ------------------------------------------------------------- decoding
+
+    def decode(self, shards: Dict[int, bytes]) -> List[bytes]:
+        """Reconstruct the data shards from any ``n_data`` surviving shards.
+
+        ``shards`` maps shard index (0-based over the full codeword) to its
+        bytes.  Raises ``ValueError`` if fewer than ``n_data`` shards are
+        supplied.
+        """
+        if len(shards) < self.n_data:
+            raise ValueError(
+                f"need at least {self.n_data} shards, got {len(shards)}"
+            )
+        indices = sorted(shards)[: self.n_data]
+        lengths = {len(shards[i]) for i in indices}
+        if len(lengths) != 1:
+            raise ValueError("surviving shards must be of equal length")
+        length = lengths.pop()
+        sub = [self.matrix[i] for i in indices]
+        inv = GF256.mat_invert(sub)
+        data: List[bytes] = []
+        for r in range(self.n_data):
+            row = inv[r]
+            out = bytearray(length)
+            for coeff, idx in zip(row, indices):
+                if coeff == 0:
+                    continue
+                shard = shards[idx]
+                for i, byte in enumerate(shard):
+                    if byte:
+                        out[i] ^= GF256.mul(coeff, byte)
+            data.append(bytes(out))
+        return data
+
+    def overhead(self) -> float:
+        """Storage overhead factor (m + n)/n from §3.6."""
+        return self.n_total / self.n_data

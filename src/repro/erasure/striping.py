@@ -1,0 +1,69 @@
+"""File striping over Reed-Solomon shards (§3.6).
+
+Helpers to split a file into ``n_data`` equal blocks (padding the tail),
+encode it into ``n_data + n_parity`` shards suitable for storage at
+separate PAST nodes, and reassemble the original bytes from any ``n_data``
+surviving shards.  Also provides the storage-overhead comparison between
+whole-file replication (factor ``k``) and RS striping (factor
+``(n + m)/n``) that the ablation benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .rs import ReedSolomonCode
+
+
+@dataclass(frozen=True)
+class FileStripe:
+    """An encoded file: shard bytes plus the metadata needed to decode."""
+
+    shards: List[bytes]
+    n_data: int
+    n_parity: int
+    original_size: int
+
+    @property
+    def shard_size(self) -> int:
+        return len(self.shards[0]) if self.shards else 0
+
+    def stored_bytes(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+
+def encode_file(data: bytes, n_data: int, n_parity: int) -> FileStripe:
+    """Split ``data`` into n_data blocks (zero-padded) and add parity."""
+    if n_data < 1:
+        raise ValueError("n_data must be positive")
+    size = len(data)
+    shard_len = max(1, (size + n_data - 1) // n_data)
+    padded = data + b"\0" * (shard_len * n_data - size)
+    blocks = [padded[i * shard_len : (i + 1) * shard_len] for i in range(n_data)]
+    code = ReedSolomonCode(n_data, n_parity)
+    return FileStripe(code.encode(blocks), n_data, n_parity, size)
+
+
+def decode_file(stripe_meta: FileStripe, surviving: Dict[int, bytes]) -> bytes:
+    """Reassemble the original bytes from any ``n_data`` surviving shards."""
+    code = ReedSolomonCode(stripe_meta.n_data, stripe_meta.n_parity)
+    blocks = code.decode(surviving)
+    return b"".join(blocks)[: stripe_meta.original_size]
+
+
+def storage_overhead(k_replicas: int, n_data: int, n_parity: int) -> dict:
+    """Compare §3.6's two availability strategies for ``m`` tolerated losses.
+
+    Whole-file replication with ``k`` copies tolerates ``k - 1`` losses at
+    overhead ``k``; RS striping with ``m = n_parity`` checksum blocks
+    tolerates ``m`` losses at overhead ``(n + m)/n``.
+    """
+    rs_overhead = (n_data + n_parity) / n_data
+    return {
+        "replication_overhead": float(k_replicas),
+        "replication_tolerates": k_replicas - 1,
+        "rs_overhead": rs_overhead,
+        "rs_tolerates": n_parity,
+        "savings_factor": k_replicas / rs_overhead,
+    }

@@ -1,0 +1,36 @@
+"""Experiment drivers reproducing §5 of the paper.
+
+Each public function regenerates one table or figure:
+
+* :func:`repro.experiments.storage.run_baseline_no_diversion` — §5.1's
+  motivating experiment (diversion disabled).
+* :func:`repro.experiments.storage.run_table2` — Table 2 (storage
+  distributions d1-d4 x leaf-set size 16/32).
+* :func:`repro.experiments.storage.run_table3` — Table 3 + Figure 2
+  (t_pri sweep).
+* :func:`repro.experiments.storage.run_table4` — Table 4 + Figure 3
+  (t_div sweep).
+* :func:`repro.experiments.storage.run_figure4`, ``run_figure5``,
+  ``run_figure6``, ``run_figure7`` — the diversion/failure-vs-utilization
+  figures.
+* :func:`repro.experiments.caching.run_figure8` — caching policies.
+
+Experiments are scaled by node count relative to the paper's 2250-node
+runs; all ratios that drive the published shapes (file size vs. node
+capacity distribution, oversubscription, k, thresholds) are preserved.
+"""
+
+from .harness import StorageRunConfig, StorageRunResult, run_storage_trace
+from . import storage, caching, churn, locality, recovery, security
+
+__all__ = [
+    "StorageRunConfig",
+    "StorageRunResult",
+    "run_storage_trace",
+    "storage",
+    "caching",
+    "churn",
+    "locality",
+    "recovery",
+    "security",
+]

@@ -1,0 +1,172 @@
+"""Shared experiment harness: build a PAST network, play a trace, report.
+
+The paper's experiments all follow the same skeleton: sample node
+capacities from a Table 1 distribution, build a PAST network, play a
+workload trace against it (inserting each unique file once; the caching
+experiment additionally issues lookups), and read counters off the system.
+This module implements that skeleton once, parameterized by scale.
+
+Scaling: the paper runs 2250 nodes against a trace whose replicated demand
+(content x k) exceeds aggregate capacity by ~1.5x, which is what pushes
+utilization into the high-90s.  We default to fewer nodes and derive the
+trace length from the same *oversubscription* ratio, so the utilization
+trajectory — and therefore every curve plotted against utilization — has
+the same shape.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core import PastConfig, PastNetwork, PastStats
+from ..netsim.topology import ClusteredTopology
+from ..workloads import DISTRIBUTIONS, FilesystemWorkload, Trace, WebProxyWorkload
+from ..workloads import web_proxy as web_stats
+
+
+@dataclass
+class StorageRunConfig:
+    """Parameters of one trace-driven run."""
+
+    n_nodes: int = 100
+    dist: str = "d1"
+    capacity_scale: float = 0.25
+    b: int = 4
+    l: int = 32
+    k: int = 5
+    t_pri: float = 0.1
+    t_div: float = 0.05
+    max_insert_attempts: int = 4
+    cache_policy: str = "none"
+    cache_fraction: float = 1.0
+    divert_target_policy: str = "max_free"
+    workload: str = "web"  # "web" | "fs"
+    oversubscription: float = 1.6
+    n_files: Optional[int] = None  # overrides oversubscription if set
+    max_file_bytes: Optional[int] = None  # None = paper max x capacity_scale
+    seed: int = 0
+
+    def past_config(self) -> PastConfig:
+        return PastConfig(
+            b=self.b,
+            l=self.l,
+            k=self.k,
+            t_pri=self.t_pri,
+            t_div=self.t_div,
+            max_insert_attempts=self.max_insert_attempts,
+            cache_policy=self.cache_policy,
+            cache_fraction=self.cache_fraction,
+            divert_target_policy=self.divert_target_policy,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class StorageRunResult:
+    """Counters and curves produced by one run."""
+
+    config: StorageRunConfig
+    succeeded: int
+    failed: int
+    utilization: float
+    file_diversion_ratio: float
+    replica_diversion_ratio: float
+    stats: PastStats
+    n_files: int
+    total_capacity: int
+    elapsed_s: float
+    network: Optional[PastNetwork] = field(default=None, repr=False)
+
+    @property
+    def success_pct(self) -> float:
+        total = self.succeeded + self.failed
+        return 100.0 * self.succeeded / total if total else 0.0
+
+    @property
+    def fail_pct(self) -> float:
+        return 100.0 - self.success_pct if (self.succeeded + self.failed) else 0.0
+
+    def table_row(self) -> dict:
+        """One row in the style of Tables 2-4."""
+        return {
+            "dist": self.config.dist,
+            "l": self.config.l,
+            "t_pri": self.config.t_pri,
+            "t_div": self.config.t_div,
+            "succeed_pct": self.success_pct,
+            "fail_pct": self.fail_pct,
+            "file_diversion_pct": 100.0 * self.file_diversion_ratio,
+            "replica_diversion_pct": 100.0 * self.replica_diversion_ratio,
+            "util_pct": 100.0 * self.utilization,
+        }
+
+
+def build_network(cfg: StorageRunConfig, clustered_sites: Optional[int] = None) -> PastNetwork:
+    """Sample capacities from the configured distribution and build PAST."""
+    dist = DISTRIBUTIONS[cfg.dist]
+    rng = random.Random(cfg.seed ^ 0xCAFE)
+    capacities = dist.sample(cfg.n_nodes, rng, cfg.capacity_scale)
+    topology = ClusteredTopology(clustered_sites, seed=cfg.seed) if clustered_sites else None
+    net = PastNetwork(cfg.past_config(), topology=topology)
+    clusters = list(range(clustered_sites)) if clustered_sites else None
+    net.build(capacities, clusters=clusters)
+    return net
+
+
+def make_workload(cfg: StorageRunConfig, net: PastNetwork, **extra):
+    """Instantiate the configured workload sized for the network."""
+    if cfg.workload == "web":
+        mean = web_stats.PAPER_MEAN_BYTES
+        paper_max = web_stats.PAPER_MAX_BYTES
+        cls = WebProxyWorkload
+    elif cfg.workload == "fs":
+        from ..workloads import filesystem as fs_stats
+
+        mean = fs_stats.PAPER_MEAN_BYTES
+        paper_max = fs_stats.PAPER_MAX_BYTES
+        cls = FilesystemWorkload
+    else:
+        raise ValueError(f"unknown workload {cfg.workload!r}")
+    n_files = cfg.n_files
+    if n_files is None:
+        n_files = max(1, int(cfg.oversubscription * net.total_capacity / (cfg.k * mean)))
+    max_bytes = cfg.max_file_bytes
+    if max_bytes is None:
+        max_bytes = max(1, int(paper_max * cfg.capacity_scale))
+    return cls(n_files=n_files, max_bytes=max_bytes, seed=cfg.seed, **extra)
+
+
+def play_inserts(net: PastNetwork, trace: Trace, seed: int = 0) -> None:
+    """Insert every file of an insert-only trace from random origin nodes."""
+    rng = random.Random(seed ^ 0xF11E)
+    node_ids = [n.node_id for n in net.nodes()]
+    client = net.create_client("trace-client")
+    for event in trace:
+        origin = node_ids[rng.randrange(len(node_ids))]
+        net.insert(event.name, client, event.size, origin)
+
+
+def run_storage_trace(cfg: StorageRunConfig, keep_network: bool = False) -> StorageRunResult:
+    """Build the network, play the insert trace, summarize the counters."""
+    start = time.perf_counter()
+    net = build_network(cfg)
+    workload = make_workload(cfg, net)
+    trace = workload.storage_trace()
+    play_inserts(net, trace, seed=cfg.seed)
+    stats = net.stats
+    return StorageRunResult(
+        config=cfg,
+        succeeded=stats.insert_successes,
+        failed=stats.insert_failures,
+        utilization=net.utilization(),
+        file_diversion_ratio=stats.file_diversion_ratio(),
+        replica_diversion_ratio=stats.replica_diversion_ratio(),
+        stats=stats,
+        n_files=len(trace),
+        total_capacity=net.total_capacity,
+        elapsed_s=time.perf_counter() - start,
+        network=net if keep_network else None,
+    )

@@ -1,0 +1,23 @@
+"""Network emulation environment.
+
+The paper evaluates PAST inside a network emulator in which all Pastry node
+instances run in one process and communicate through emulated links with a
+scalar *proximity metric* (IP hops, geographic distance, ...).  This
+package provides that substrate: node placement models, the proximity
+metric, and message accounting.
+"""
+
+from .topology import Coordinate, SphereTopology, TorusTopology, ClusteredTopology
+from .stats import MessageStats
+from .latency import LatencyModel, PAPER_PER_HOP_MS, percentiles
+
+__all__ = [
+    "Coordinate",
+    "SphereTopology",
+    "TorusTopology",
+    "ClusteredTopology",
+    "MessageStats",
+    "LatencyModel",
+    "PAPER_PER_HOP_MS",
+    "percentiles",
+]

@@ -1,0 +1,147 @@
+"""A small discrete-event simulator.
+
+The synchronous emulation used for the §5 trace experiments treats
+failure detection as instantaneous.  In a deployment, Pastry detects
+failures through periodic keep-alive messages: "if a node is unresponsive
+for a period T, it is presumed failed" (§2.1) — and PAST's availability
+story explicitly hinges on that window ("a file can be located unless all
+k nodes have failed simultaneously, i.e., within a recovery period").
+
+This module provides the event queue that the recovery-period experiments
+use to model time: schedule callbacks at absolute or relative times,
+periodic timers for keep-alives, and deterministic FIFO ordering among
+same-time events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Returned by ``schedule``; lets the caller cancel the event."""
+
+    time: float
+    seq: int
+
+
+class EventSimulator:
+    """A priority-queue discrete-event loop with virtual time."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = start_time
+        self._heap = []  # (time, seq, callback)
+        self._seq = itertools.count()
+        self._cancelled = set()
+        self.events_run = 0
+
+    # ------------------------------------------------------------ schedule
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at absolute virtual time ``when``."""
+        if when < self.now:
+            raise ValueError("cannot schedule into the past")
+        seq = next(self._seq)
+        heapq.heappush(self._heap, (when, seq, callback))
+        return EventHandle(when, seq)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a scheduled event (no-op if it already ran)."""
+        self._cancelled.add(handle.seq)
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        jitter_fn: Optional[Callable[[], float]] = None,
+    ) -> "PeriodicTimer":
+        """Run ``callback`` every ``period`` units until stopped."""
+        timer = PeriodicTimer(self, period, callback, jitter_fn)
+        timer.start()
+        return timer
+
+    # ----------------------------------------------------------------- run
+
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._heap:
+            when, seq, callback = heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            self.now = when
+            callback()
+            self.events_run += 1
+            return True
+        return False
+
+    def run_until(self, deadline: float) -> None:
+        """Run every event scheduled at or before ``deadline``."""
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self.now = max(self.now, deadline)
+
+    def run(self, max_events: int = 1_000_000) -> None:
+        """Drain the queue (bounded to catch runaway timer loops)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise RuntimeError(f"event loop exceeded {max_events} events")
+
+
+class PeriodicTimer:
+    """A repeating timer driven by an :class:`EventSimulator`."""
+
+    def __init__(
+        self,
+        sim: EventSimulator,
+        period: float,
+        callback: Callable[[], None],
+        jitter_fn: Optional[Callable[[], float]] = None,
+    ):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.period = period
+        self.callback = callback
+        self.jitter_fn = jitter_fn
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+        self.fires = 0
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._arm()
+
+    def _arm(self) -> None:
+        delay = self.period + (self.jitter_fn() if self.jitter_fn else 0.0)
+        self._handle = self.sim.schedule(max(1e-12, delay), self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.fires += 1
+        self.callback()
+        if self._running:
+            self._arm()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self.sim.cancel(self._handle)
+            self._handle = None

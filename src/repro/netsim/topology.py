@@ -1,0 +1,116 @@
+"""Node placement models and the network proximity metric.
+
+Pastry only requires a *scalar* proximity metric between nodes (the paper
+suggests IP routing hops, bandwidth or geographic distance).  We model the
+underlying network by embedding nodes in a metric space and using the
+embedding distance as the proximity metric — the same approach used by the
+Pastry paper's own emulator, which places nodes on a sphere.
+
+Three placement models are provided:
+
+* :class:`TorusTopology` — uniform placement on a 2-D unit torus (no edge
+  effects, cheap distance computation).  The default.
+* :class:`SphereTopology` — uniform placement on a unit sphere with
+  great-circle distances, matching the Pastry paper's emulator.
+* :class:`ClusteredTopology` — placement into a configurable number of
+  geographic clusters.  Used by the caching experiment, which maps the
+  clients of each of the eight NLANR trace sites to *nearby* overlay nodes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Coordinate:
+    """A point in the emulated network's metric space.
+
+    ``cluster`` records which cluster the point was drawn from (if any),
+    which lets workloads map trace sites onto co-located nodes.
+    """
+
+    x: float
+    y: float
+    z: float = 0.0
+    cluster: Optional[int] = None
+
+
+class Topology:
+    """Base class: placement + proximity metric."""
+
+    def place(self, rng: random.Random, cluster: Optional[int] = None) -> Coordinate:
+        """Draw a coordinate for a newly joining node."""
+        raise NotImplementedError
+
+    def distance(self, a: Coordinate, b: Coordinate) -> float:
+        """The scalar proximity metric between two coordinates."""
+        raise NotImplementedError
+
+
+class TorusTopology(Topology):
+    """Uniform placement on the unit square with wrap-around distances."""
+
+    def place(self, rng: random.Random, cluster: Optional[int] = None) -> Coordinate:
+        return Coordinate(rng.random(), rng.random(), 0.0, cluster)
+
+    def distance(self, a: Coordinate, b: Coordinate) -> float:
+        dx = abs(a.x - b.x)
+        dy = abs(a.y - b.y)
+        dx = min(dx, 1.0 - dx)
+        dy = min(dy, 1.0 - dy)
+        return math.hypot(dx, dy)
+
+
+class SphereTopology(Topology):
+    """Uniform placement on the unit sphere, great-circle proximity metric."""
+
+    def place(self, rng: random.Random, cluster: Optional[int] = None) -> Coordinate:
+        # Uniform point on the sphere via the standard z/phi construction.
+        z = rng.uniform(-1.0, 1.0)
+        phi = rng.uniform(0.0, 2.0 * math.pi)
+        r = math.sqrt(max(0.0, 1.0 - z * z))
+        return Coordinate(r * math.cos(phi), r * math.sin(phi), z, cluster)
+
+    def distance(self, a: Coordinate, b: Coordinate) -> float:
+        dot = a.x * b.x + a.y * b.y + a.z * b.z
+        dot = max(-1.0, min(1.0, dot))
+        return math.acos(dot)
+
+
+class ClusteredTopology(Topology):
+    """Nodes drawn from Gaussian clusters on the unit torus.
+
+    Cluster centres are spread deterministically; each placement draws from
+    the requested cluster (or a random one).  The caching experiment uses
+    one cluster per NLANR trace site so that clients of the same site issue
+    requests from nearby overlay nodes.
+    """
+
+    def __init__(self, n_clusters: int, spread: float = 0.05, seed: int = 0):
+        if n_clusters < 1:
+            raise ValueError("need at least one cluster")
+        self.n_clusters = n_clusters
+        self.spread = spread
+        centre_rng = random.Random(seed)
+        self._centres: Tuple[Tuple[float, float], ...] = tuple(
+            (centre_rng.random(), centre_rng.random()) for _ in range(n_clusters)
+        )
+        self._torus = TorusTopology()
+
+    def centre(self, cluster: int) -> Tuple[float, float]:
+        return self._centres[cluster % self.n_clusters]
+
+    def place(self, rng: random.Random, cluster: Optional[int] = None) -> Coordinate:
+        if cluster is None:
+            cluster = rng.randrange(self.n_clusters)
+        cx, cy = self.centre(cluster)
+        x = (cx + rng.gauss(0.0, self.spread)) % 1.0
+        y = (cy + rng.gauss(0.0, self.spread)) % 1.0
+        return Coordinate(x, y, 0.0, cluster % self.n_clusters)
+
+    def distance(self, a: Coordinate, b: Coordinate) -> float:
+        return self._torus.distance(a, b)

@@ -1,0 +1,32 @@
+"""Pastry: the peer-to-peer routing and content-location substrate of PAST.
+
+Implements the scheme of Rowstron & Druschel, "Pastry: Scalable,
+distributed object location and routing for large-scale peer-to-peer
+systems" (Middleware 2001), to the level of detail PAST depends on:
+prefix routing over base-``2**b`` digits, leaf sets, proximity-aware
+routing tables, neighborhood sets, the node join protocol, failure
+detection with leaf-set repair, and optional randomized routing.
+"""
+
+from . import idspace
+from .idspace import ID_BITS, ID_SPACE, FILE_ID_BITS, file_id, routing_key
+from .leafset import LeafSet
+from .routingtable import RoutingTable
+from .node import PastryApplication, PastryNode
+from .network import PastryNetwork, RouteResult, RoutingError
+
+__all__ = [
+    "idspace",
+    "ID_BITS",
+    "ID_SPACE",
+    "FILE_ID_BITS",
+    "file_id",
+    "routing_key",
+    "LeafSet",
+    "RoutingTable",
+    "PastryApplication",
+    "PastryNode",
+    "PastryNetwork",
+    "RouteResult",
+    "RoutingError",
+]

@@ -1,0 +1,165 @@
+"""Identifier-space arithmetic for the Pastry overlay and PAST.
+
+Pastry assigns every node a 128-bit *nodeId* drawn (quasi-)uniformly from a
+circular namespace ``[0, 2**128)``.  PAST assigns every file a 160-bit
+*fileId* computed as the SHA-1 hash of the file's textual name, the owner's
+public key and a random salt; only the 128 most significant bits of the
+fileId are used for routing.
+
+For routing purposes identifiers are treated as sequences of digits in base
+``2**b`` (``b`` is a configuration parameter, typically 4), most significant
+digit first.  This module provides the digit, prefix and ring-distance
+primitives used by the leaf set, routing table and routing algorithm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional
+
+#: Width of a nodeId (and of the routing portion of a fileId), in bits.
+ID_BITS = 128
+
+#: Size of the circular identifier namespace.
+ID_SPACE = 1 << ID_BITS
+
+#: Width of a PAST fileId, in bits (SHA-1 output).
+FILE_ID_BITS = 160
+
+#: Size of the fileId namespace.
+FILE_ID_SPACE = 1 << FILE_ID_BITS
+
+
+def num_digits(b: int) -> int:
+    """Number of base-``2**b`` digits in a routing identifier.
+
+    ``b`` must divide :data:`ID_BITS` evenly (true for the typical values
+    1, 2, 4 and 8).
+    """
+    if b <= 0 or ID_BITS % b != 0:
+        raise ValueError(f"b must be a positive divisor of {ID_BITS}, got {b}")
+    return ID_BITS // b
+
+
+def digit(ident: int, index: int, b: int) -> int:
+    """Return the ``index``-th base-``2**b`` digit of ``ident``.
+
+    Digit 0 is the most significant digit.
+    """
+    n = num_digits(b)
+    if not 0 <= index < n:
+        raise IndexError(f"digit index {index} out of range for b={b}")
+    shift = (n - 1 - index) * b
+    return (ident >> shift) & ((1 << b) - 1)
+
+
+def digits(ident: int, b: int) -> tuple:
+    """Return all base-``2**b`` digits of ``ident``, most significant first."""
+    n = num_digits(b)
+    mask = (1 << b) - 1
+    return tuple((ident >> ((n - 1 - i) * b)) & mask for i in range(n))
+
+
+def shared_prefix_length(a: int, x: int, b: int) -> int:
+    """Length (in digits) of the longest common prefix of two identifiers."""
+    diff = a ^ x
+    if diff == 0:
+        return num_digits(b)
+    # Index of the highest set bit of the difference determines the first
+    # digit at which the identifiers disagree.
+    high_bit = diff.bit_length() - 1  # 0-based from the LSB
+    bits_from_top = ID_BITS - 1 - high_bit
+    return bits_from_top // b
+
+
+def ring_distance(a: int, x: int) -> int:
+    """Shortest distance between two identifiers on the circular namespace."""
+    d = (a - x) % ID_SPACE
+    return min(d, ID_SPACE - d)
+
+
+def clockwise_distance(a: int, x: int) -> int:
+    """Distance travelled going clockwise (increasing ids) from ``a`` to ``x``."""
+    return (x - a) % ID_SPACE
+
+
+def counterclockwise_distance(a: int, x: int) -> int:
+    """Distance travelled going counterclockwise (decreasing ids) from ``a`` to ``x``."""
+    return (a - x) % ID_SPACE
+
+
+def is_strictly_closer(candidate: int, current: int, target: int) -> bool:
+    """True if ``candidate`` is strictly closer to ``target`` than ``current``.
+
+    Closeness is ring distance; exact ties are broken towards the
+    numerically smaller identifier so that "numerically closest node" is a
+    total order and every key has a unique owner.
+    """
+    dc = ring_distance(candidate, target)
+    du = ring_distance(current, target)
+    if dc != du:
+        return dc < du
+    return candidate < current
+
+
+def closest_of(ids: Iterable[int], target: int) -> Optional[int]:
+    """The identifier among ``ids`` closest to ``target`` (ties broken low).
+
+    Returns ``None`` for an empty iterable.
+    """
+    best: Optional[int] = None
+    for ident in ids:
+        if best is None or is_strictly_closer(ident, best, target):
+            best = ident
+    return best
+
+
+def sort_by_distance(ids: Iterable[int], target: int) -> list:
+    """Sort identifiers by ring distance to ``target`` (ties broken low)."""
+    return sorted(ids, key=lambda i: (ring_distance(i, target), i))
+
+
+def node_id_from_public_key(public_key: bytes) -> int:
+    """Derive a quasi-random 128-bit nodeId from a node's public key.
+
+    The paper assigns nodeIds as the SHA-1 hash of the node's public key so
+    that the assignment cannot be biased by a malicious operator; we keep
+    the 128 most significant bits of the hash.
+    """
+    h = hashlib.sha1(public_key).digest()
+    return int.from_bytes(h, "big") >> (FILE_ID_BITS - ID_BITS)
+
+
+def file_id(name: str, owner_public_key: bytes, salt: int) -> int:
+    """Compute the 160-bit fileId for an insert operation.
+
+    The fileId is the SHA-1 hash of the file's textual name, the owner's
+    public key and a salt.  Re-salting the same (name, owner) pair yields a
+    fresh fileId, which is how PAST implements *file diversion*.
+    """
+    h = hashlib.sha1()
+    h.update(name.encode("utf-8"))
+    h.update(owner_public_key)
+    h.update(salt.to_bytes(20, "big", signed=False))
+    return int.from_bytes(h.digest(), "big")
+
+
+def routing_key(fid: int) -> int:
+    """The 128 most significant bits of a fileId, used as the routing key."""
+    if not 0 <= fid < FILE_ID_SPACE:
+        raise ValueError("fileId out of range")
+    return fid >> (FILE_ID_BITS - ID_BITS)
+
+
+def format_id(ident: int, b: int, groups: Optional[int] = None) -> str:
+    """Render an identifier as base-``2**b`` digits (like Figure 1's base 4).
+
+    ``groups`` optionally limits output to the first ``groups`` digits,
+    which keeps log messages readable.
+    """
+    ds = digits(ident, b)
+    if groups is not None:
+        ds = ds[:groups]
+    if b <= 4:
+        return "".join(format(d, "x") for d in ds)
+    return "-".join(str(d) for d in ds)

@@ -1,0 +1,103 @@
+"""The keep-alive failure-detection protocol (§2.1).
+
+"Neighboring nodes in the nodeId space (which are aware of each other by
+virtue of being in each other's leaf set) periodically exchange
+keep-alive messages.  If a node is unresponsive for a period T, it is
+presumed failed."
+
+:class:`KeepAliveMonitor` runs that protocol on a
+:class:`~repro.netsim.eventsim.EventSimulator`: every node probes its
+leaf-set members every ``interval``; a probe to a crashed node goes
+unanswered, and once a peer has been silent for ``timeout`` (the paper's
+T), the witness declares it failed.  The first declaration triggers the
+detection callback — in a PAST deployment,
+:meth:`repro.core.network.PastNetwork.process_failure_detection`.
+
+The resulting detection latency is ``timeout`` plus up to one probe
+``interval``, which is exactly the "recovery period" the availability
+analysis sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set, Tuple
+
+from ..netsim.eventsim import EventSimulator
+from .network import PastryNetwork
+
+
+class KeepAliveMonitor:
+    """Periodic leaf-set keep-alives with timeout-based failure detection."""
+
+    def __init__(
+        self,
+        sim: EventSimulator,
+        pastry: PastryNetwork,
+        on_detect: Callable[[int], None],
+        interval: float = 1.0,
+        timeout: float = 3.0,
+    ):
+        if interval <= 0 or timeout <= 0:
+            raise ValueError("interval and timeout must be positive")
+        self.sim = sim
+        self.pastry = pastry
+        self.on_detect = on_detect
+        self.interval = interval
+        self.timeout = timeout
+        #: (observer, peer) -> virtual time the peer last answered a probe.
+        self.last_heard: Dict[Tuple[int, int], float] = {}
+        self.detected: Set[int] = set()
+        self.probes_sent = 0
+        self._timers = {}
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Begin probing from every currently live node."""
+        for node in self.pastry.nodes():
+            self.watch(node.node_id)
+
+    def watch(self, node_id: int) -> None:
+        """Start this node's periodic probe timer (idempotent)."""
+        if node_id in self._timers:
+            return
+        self._timers[node_id] = self.sim.every(
+            self.interval, lambda nid=node_id: self._probe_round(nid)
+        )
+
+    def unwatch(self, node_id: int) -> None:
+        timer = self._timers.pop(node_id, None)
+        if timer is not None:
+            timer.stop()
+
+    def stop(self) -> None:
+        for node_id in list(self._timers):
+            self.unwatch(node_id)
+
+    # -------------------------------------------------------------- probing
+
+    def _probe_round(self, observer_id: int) -> None:
+        observer = self.pastry.get_live(observer_id)
+        if observer is None:
+            # The observer itself crashed; its timer dies with it.
+            self.unwatch(observer_id)
+            return
+        now = self.sim.now
+        for peer_id in observer.leafset.members():
+            self.probes_sent += 1
+            key = (observer_id, peer_id)
+            if self.pastry.is_live(peer_id):
+                self.last_heard[key] = now
+                continue
+            last = self.last_heard.setdefault(key, now - self.interval)
+            if now - last >= self.timeout and peer_id not in self.detected:
+                # Presumed failed: the witness's keep-alives went
+                # unanswered for T.  Fire detection exactly once.
+                self.detected.add(peer_id)
+                self.on_detect(peer_id)
+
+    def forget(self, node_id: int) -> None:
+        """Clear detection state (e.g. after the node recovers)."""
+        self.detected.discard(node_id)
+        for key in [k for k in self.last_heard if node_id in k]:
+            del self.last_heard[key]

@@ -1,0 +1,177 @@
+"""Pastry leaf sets.
+
+The leaf set of a node contains the ``l/2`` live nodes with numerically
+closest *larger* nodeIds and the ``l/2`` live nodes with numerically closest
+*smaller* nodeIds, relative to the node's own id, on the circular namespace.
+It is the structure that terminates Pastry routing (the final hops of every
+route go through leaf sets) and the scope within which PAST performs
+replica diversion and replica maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from . import idspace
+
+
+class LeafSet:
+    """The leaf set of a single Pastry node.
+
+    The set is maintained as a plain member set plus derived, lazily
+    recomputed views of the ``l/2`` clockwise (larger) and ``l/2``
+    counterclockwise (smaller) sides.  When fewer than ``l`` other nodes
+    exist the leaf set simply contains all of them and the node has global
+    knowledge of the ring.
+    """
+
+    def __init__(self, owner_id: int, l: int):
+        if l < 2 or l % 2 != 0:
+            raise ValueError(f"leaf set size l must be a positive even number, got {l}")
+        self.owner_id = owner_id
+        self.l = l
+        self._members: Set[int] = set()
+        self._dirty = True
+        self._smaller: List[int] = []  # sorted by ccw distance from owner, nearest first
+        self._larger: List[int] = []  # sorted by cw distance from owner, nearest first
+
+    # ------------------------------------------------------------------ views
+
+    def _recompute(self) -> None:
+        if not self._dirty:
+            return
+        half = self.l // 2
+        # Partition members by the direction in which they are nearer: a
+        # node belongs to the "larger" (clockwise) side iff it is closer
+        # going clockwise.  Without this partition, a removal on one side
+        # could let a far node from the other side slip into the freed
+        # slot, corrupting the side views (and with them `extremes` and
+        # `covers`) for every later repair.
+        cw_side = []
+        ccw_side = []
+        for member in self._members:
+            cw = idspace.clockwise_distance(self.owner_id, member)
+            ccw = idspace.counterclockwise_distance(self.owner_id, member)
+            if cw <= ccw:
+                cw_side.append(member)
+            else:
+                ccw_side.append(member)
+        cw_side.sort(key=lambda i: idspace.clockwise_distance(self.owner_id, i))
+        ccw_side.sort(key=lambda i: idspace.counterclockwise_distance(self.owner_id, i))
+        self._larger = cw_side[:half]
+        self._smaller = ccw_side[:half]
+        # Nodes on neither side are no longer leaf-set members; drop them so
+        # the set does not grow without bound as the ring fills in.
+        keep = set(self._larger) | set(self._smaller)
+        self._members = keep
+        self._dirty = False
+
+    @property
+    def smaller(self) -> List[int]:
+        """Members on the counterclockwise side, nearest first."""
+        self._recompute()
+        return list(self._smaller)
+
+    @property
+    def larger(self) -> List[int]:
+        """Members on the clockwise side, nearest first."""
+        self._recompute()
+        return list(self._larger)
+
+    def members(self) -> Set[int]:
+        """All current leaf-set members (excluding the owner)."""
+        self._recompute()
+        return set(self._members)
+
+    def __contains__(self, node_id: int) -> bool:
+        self._recompute()
+        return node_id in self._members
+
+    def __len__(self) -> int:
+        self._recompute()
+        return len(self._members)
+
+    def is_full(self) -> bool:
+        """Whether both sides hold their full complement of ``l/2`` nodes."""
+        self._recompute()
+        half = self.l // 2
+        return len(self._smaller) == half and len(self._larger) == half
+
+    # ---------------------------------------------------------------- updates
+
+    def add(self, node_id: int) -> None:
+        """Consider ``node_id`` for membership (no-op for self/duplicates)."""
+        if node_id == self.owner_id or node_id in self._members:
+            return
+        self._members.add(node_id)
+        self._dirty = True
+
+    def add_all(self, node_ids: Iterable[int]) -> None:
+        for node_id in node_ids:
+            self.add(node_id)
+
+    def remove(self, node_id: int) -> bool:
+        """Remove a (failed) node.  Returns True if it was a member."""
+        if node_id in self._members:
+            self._members.discard(node_id)
+            self._dirty = True
+            return True
+        return False
+
+    # ---------------------------------------------------------------- queries
+
+    def extremes(self) -> tuple:
+        """The farthest member on each side ``(smallest_side, largest_side)``.
+
+        These are the two "most distant members" a PAST node consults when
+        its own leaf set cannot absorb a replica (§3.5).  Either element may
+        be ``None`` when that side is empty.
+        """
+        self._recompute()
+        low = self._smaller[-1] if self._smaller else None
+        high = self._larger[-1] if self._larger else None
+        return low, high
+
+    def covers(self, key: int) -> bool:
+        """Whether ``key`` falls within the arc spanned by this leaf set.
+
+        Pastry's routing rule: if the key is between the farthest-smaller
+        and farthest-larger leaf-set members (passing through the owner),
+        the message is forwarded directly to the numerically closest leaf
+        (or delivered, if the owner is closest).  A non-full leaf set means
+        the node knows the entire ring, which also counts as coverage.
+        """
+        self._recompute()
+        if not self.is_full():
+            return True
+        low = self._smaller[-1]
+        high = self._larger[-1]
+        # Arc from `low` clockwise to `high` passes through owner.
+        span = idspace.clockwise_distance(low, high)
+        offset = idspace.clockwise_distance(low, key)
+        return offset <= span
+
+    def closest_to(self, key: int, include_self: bool = True) -> Optional[int]:
+        """Numerically closest node to ``key`` among members (and owner)."""
+        self._recompute()
+        candidates = set(self._members)
+        if include_self:
+            candidates.add(self.owner_id)
+        return idspace.closest_of(candidates, key)
+
+    def closest_nodes(self, key: int, k: int, include_self: bool = True) -> List[int]:
+        """The ``k`` members (optionally incl. owner) numerically closest to ``key``.
+
+        This is how a PAST node determines the replica set for a fileId it
+        coordinates: the k nodes with nodeIds closest to the fileId, all of
+        which must appear in its leaf set (PAST requires ``k <= l/2 + 1``).
+        """
+        self._recompute()
+        candidates = set(self._members)
+        if include_self:
+            candidates.add(self.owner_id)
+        return idspace.sort_by_distance(candidates, key)[:k]
+
+    def state_rows(self) -> dict:
+        """Debug/illustration view used by Figure-1 style state dumps."""
+        return {"smaller": self.smaller, "larger": self.larger}

@@ -1,0 +1,208 @@
+"""File certificates, store receipts and reclaim certificates (§2.2).
+
+* A **file certificate** is issued (and signed) by the owner's smartcard
+  at insert time.  It binds the fileId to the content hash, the
+  replication factor ``k``, the salt and a creation date, letting storage
+  nodes verify what they are asked to store and letting readers verify
+  what they fetched.
+* A **store receipt** is returned by each node that accepted a replica;
+  the client checks that it collected ``k`` distinct receipts.
+* A **reclaim certificate** proves to replica holders that the party
+  requesting reclamation owns the file; **reclaim receipts** flow back and
+  are redeemed against the owner's storage quota.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from .keys import KeyPair, SignatureError
+
+
+class CertificateError(ValueError):
+    """A certificate failed verification."""
+
+
+def simulated_content_hash(file_id: int, size: int) -> bytes:
+    """Stand-in for SHA-1 over file content.
+
+    The simulator usually does not materialize file bytes; the hash is
+    derived from the (quasi-unique) fileId and size, preserving the
+    protocol property that a mismatch between certificate and received
+    content is detectable.  When real bytes are supplied (small demo
+    files, erasure-coded shards) :func:`content_hash` is used instead.
+    """
+    return hashlib.sha1(b"content|%d|%d" % (file_id, size)).digest()
+
+
+def content_hash(content: bytes) -> bytes:
+    """SHA-1 over actual file content (used when bytes are materialized)."""
+    return hashlib.sha1(content).digest()
+
+
+@dataclass(frozen=True)
+class FileCertificate:
+    """Signed metadata accompanying every inserted file."""
+
+    file_id: int
+    content_hash: bytes
+    size: int
+    k: int
+    salt: int
+    creation_date: int
+    owner_public: bytes
+    signature: bytes = field(repr=False, default=b"")
+
+    @staticmethod
+    def issue(
+        file_id: int,
+        size: int,
+        k: int,
+        salt: int,
+        creation_date: int,
+        owner_key: KeyPair,
+        content: bytes = None,
+    ) -> "FileCertificate":
+        if content is not None:
+            digest = content_hash(content)
+        else:
+            digest = simulated_content_hash(file_id, size)
+        message = FileCertificate._message(
+            file_id, digest, size, k, salt, creation_date, owner_key.public
+        )
+        return FileCertificate(
+            file_id=file_id,
+            content_hash=digest,
+            size=size,
+            k=k,
+            salt=salt,
+            creation_date=creation_date,
+            owner_public=owner_key.public,
+            signature=owner_key.sign(message),
+        )
+
+    @staticmethod
+    def _message(file_id, content_hash, size, k, salt, creation_date, owner_public) -> bytes:
+        return b"|".join(
+            [
+                b"filecert",
+                b"%d" % file_id,
+                content_hash,
+                b"%d" % size,
+                b"%d" % k,
+                b"%d" % salt,
+                b"%d" % creation_date,
+                owner_public,
+            ]
+        )
+
+    def verify(self) -> None:
+        """Check the owner signature and internal consistency.
+
+        Storage nodes run this before accepting a replica; they also
+        recompute the content hash of the received file and compare it to
+        the certified one, which :meth:`verify_content` models.
+        """
+        message = self._message(
+            self.file_id,
+            self.content_hash,
+            self.size,
+            self.k,
+            self.salt,
+            self.creation_date,
+            self.owner_public,
+        )
+        if not KeyPair.verify(self.owner_public, message, self.signature):
+            raise CertificateError("file certificate signature invalid")
+        if self.k < 1:
+            raise CertificateError("file certificate has non-positive k")
+        if self.size < 0:
+            raise CertificateError("file certificate has negative size")
+
+    def verify_content(self, received_size: int, content: bytes = None) -> None:
+        """Recompute the content hashcode and compare with the certificate."""
+        if content is not None:
+            if content_hash(content) != self.content_hash:
+                raise CertificateError("content hash mismatch")
+            return
+        if simulated_content_hash(self.file_id, received_size) != self.content_hash:
+            raise CertificateError("content hash mismatch")
+
+
+@dataclass(frozen=True)
+class StoreReceipt:
+    """Issued by a node that accepted responsibility for a replica."""
+
+    file_id: int
+    node_id: int
+    diverted: bool
+    node_public: bytes
+    signature: bytes = field(repr=False, default=b"")
+
+    @staticmethod
+    def issue(file_id: int, node_id: int, diverted: bool, node_key: KeyPair) -> "StoreReceipt":
+        message = StoreReceipt._message(file_id, node_id, diverted, node_key.public)
+        return StoreReceipt(file_id, node_id, diverted, node_key.public, node_key.sign(message))
+
+    @staticmethod
+    def _message(file_id, node_id, diverted, node_public) -> bytes:
+        return b"receipt|%d|%d|%d|" % (file_id, node_id, int(diverted)) + node_public
+
+    def verify(self) -> None:
+        message = self._message(self.file_id, self.node_id, self.diverted, self.node_public)
+        if not KeyPair.verify(self.node_public, message, self.signature):
+            raise CertificateError("store receipt signature invalid")
+
+
+@dataclass(frozen=True)
+class ReclaimCertificate:
+    """Proves the legitimate owner is requesting storage reclamation."""
+
+    file_id: int
+    owner_public: bytes
+    signature: bytes = field(repr=False, default=b"")
+
+    @staticmethod
+    def issue(file_id: int, owner_key: KeyPair) -> "ReclaimCertificate":
+        message = ReclaimCertificate._message(file_id, owner_key.public)
+        return ReclaimCertificate(file_id, owner_key.public, owner_key.sign(message))
+
+    @staticmethod
+    def _message(file_id, owner_public) -> bytes:
+        return b"reclaim|%d|" % file_id + owner_public
+
+    def verify(self, expected_owner_public: bytes) -> None:
+        """Replica holders check both signature and ownership."""
+        if self.owner_public != expected_owner_public:
+            raise CertificateError("reclaim requested by non-owner")
+        message = self._message(self.file_id, self.owner_public)
+        if not KeyPair.verify(self.owner_public, message, self.signature):
+            raise CertificateError("reclaim certificate signature invalid")
+
+
+@dataclass(frozen=True)
+class ReclaimReceipt:
+    """Issued by a replica holder after freeing the storage."""
+
+    file_id: int
+    node_id: int
+    freed_bytes: int
+    node_public: bytes
+    signature: bytes = field(repr=False, default=b"")
+
+    @staticmethod
+    def issue(file_id: int, node_id: int, freed_bytes: int, node_key: KeyPair) -> "ReclaimReceipt":
+        message = ReclaimReceipt._message(file_id, node_id, freed_bytes, node_key.public)
+        return ReclaimReceipt(
+            file_id, node_id, freed_bytes, node_key.public, node_key.sign(message)
+        )
+
+    @staticmethod
+    def _message(file_id, node_id, freed_bytes, node_public) -> bytes:
+        return b"reclaimed|%d|%d|%d|" % (file_id, node_id, freed_bytes) + node_public
+
+    def verify(self) -> None:
+        message = self._message(self.file_id, self.node_id, self.freed_bytes, self.node_public)
+        if not KeyPair.verify(self.node_public, message, self.signature):
+            raise CertificateError("reclaim receipt signature invalid")

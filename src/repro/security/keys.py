@@ -1,0 +1,70 @@
+"""Simulated public-key cryptography.
+
+A :class:`KeyPair` mimics an asymmetric key pair: ``public`` is a byte
+string safe to hand out (it seeds nodeId assignment and fileId hashing,
+exactly as in the paper); ``sign`` produces a tag over a message that
+``verify`` checks.  The tag is an HMAC keyed by the private secret, with
+the verifier resolving the secret through a process-local key registry.
+That registry stands in for the mathematics of signature verification: a
+forger without the private secret cannot mint valid tags, and any party
+can check one — the two properties PAST's certificate flow relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict
+
+
+class SignatureError(ValueError):
+    """A signature failed verification."""
+
+
+#: Process-local registry mapping public keys to signing secrets.  This is
+#: the simulation stand-in for asymmetric verification; see module docstring.
+_KEY_REGISTRY: Dict[bytes, bytes] = {}
+
+
+class KeyPair:
+    """A simulated private/public key pair."""
+
+    __slots__ = ("public", "_secret")
+
+    def __init__(self, owner_label: str, seed: bytes = b""):
+        material = owner_label.encode("utf-8") + b"|" + seed
+        self._secret = hashlib.sha256(b"secret|" + material).digest()
+        self.public = hashlib.sha256(b"public|" + material).digest()
+        _KEY_REGISTRY[self.public] = self._secret
+
+    def sign(self, message: bytes) -> bytes:
+        """Produce a signature tag over ``message``."""
+        return hmac.new(self._secret, message, hashlib.sha256).digest()
+
+    @staticmethod
+    def verify(public: bytes, message: bytes, tag: bytes) -> bool:
+        """Check a signature allegedly produced by the holder of ``public``."""
+        secret = _KEY_REGISTRY.get(public)
+        if secret is None:
+            return False
+        expected = hmac.new(secret, message, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KeyPair(public={self.public.hex()[:12]}...)"
+
+
+class SignedBlob:
+    """A message plus a signature and the signer's public key."""
+
+    __slots__ = ("message", "tag", "public")
+
+    def __init__(self, message: bytes, keypair: KeyPair):
+        self.message = message
+        self.tag = keypair.sign(message)
+        self.public = keypair.public
+
+    def check(self) -> None:
+        """Raise :class:`SignatureError` if the signature does not verify."""
+        if not KeyPair.verify(self.public, self.message, self.tag):
+            raise SignatureError("signature verification failed")

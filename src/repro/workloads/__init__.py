@@ -1,0 +1,50 @@
+"""Workload substrate for the §5 experiments.
+
+The paper drives PAST with two traces: a combined NLANR web-proxy trace
+(4M entries, 1,863,055 unique URLs, 18.7 GB) and a filesystem trace
+(2,027,908 files, 166.6 GB), plus four truncated-normal node-capacity
+distributions (Table 1).  The original traces are no longer distributed,
+so this package synthesizes statistically matched equivalents; see
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from .capacities import (
+    D1,
+    D2,
+    D3,
+    D4,
+    DISTRIBUTIONS,
+    MB,
+    CapacityDistribution,
+)
+from .trace import Trace, TraceEvent
+from .web_proxy import WebProxyWorkload
+from .filesystem import FilesystemWorkload
+from .nlanr import (
+    LogRecord,
+    build_trace,
+    combine_logs,
+    parse_squid_log,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "LogRecord",
+    "parse_squid_log",
+    "combine_logs",
+    "build_trace",
+    "read_trace",
+    "write_trace",
+    "CapacityDistribution",
+    "D1",
+    "D2",
+    "D3",
+    "D4",
+    "DISTRIBUTIONS",
+    "MB",
+    "Trace",
+    "TraceEvent",
+    "WebProxyWorkload",
+    "FilesystemWorkload",
+]

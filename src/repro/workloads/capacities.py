@@ -1,0 +1,73 @@
+"""Node storage-capacity distributions (Table 1 of the paper).
+
+Four truncated normal distributions, parameterized by mean ``m`` and
+standard deviation ``sigma`` with hard lower/upper bounds (all in MBytes):
+
+===== ==== ===== ====== ======
+name   m   sigma lower  upper
+===== ==== ===== ====== ======
+d1     27  10.8     2     51
+d2     27   9.6     4     49
+d3     27  54.0     6     48
+d4     27  54.0     1     53
+===== ==== ===== ====== ======
+
+d1/d2 truncate the normal at ``m ± 2.3 sigma``; d3/d4 use an arbitrarily
+large sigma with fixed bounds, yielding a much flatter (near-uniform)
+distribution with more small nodes.  The paper notes these means are about
+1000x below practical deployments — scaled down so high utilization can be
+reached with the available traces — and that the scaling is conservative:
+smaller nodes make storage management *harder*.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+#: One MByte.  The absolute unit is irrelevant to the experiments (only
+#: file-size/capacity ratios matter); using 10**6 keeps numbers readable.
+MB = 1_000_000
+
+
+@dataclass(frozen=True)
+class CapacityDistribution:
+    """A truncated normal distribution over node storage capacities."""
+
+    name: str
+    mean_mb: float
+    sigma_mb: float
+    lower_mb: float
+    upper_mb: float
+
+    def sample(self, n: int, rng: random.Random, scale: float = 1.0) -> List[int]:
+        """Draw ``n`` capacities in bytes (rejection-sampled truncation).
+
+        ``scale`` multiplies every capacity; the Figure 7 experiment uses
+        the same distribution with capacities scaled by 10.
+        """
+        out = []
+        lo = self.lower_mb * MB * scale
+        hi = self.upper_mb * MB * scale
+        mu = self.mean_mb * MB * scale
+        sd = self.sigma_mb * MB * scale
+        while len(out) < n:
+            x = rng.gauss(mu, sd)
+            if lo <= x <= hi:
+                out.append(int(x))
+        return out
+
+    def mean_bytes(self, scale: float = 1.0) -> float:
+        return self.mean_mb * MB * scale
+
+    def bounds_bytes(self, scale: float = 1.0):
+        return self.lower_mb * MB * scale, self.upper_mb * MB * scale
+
+
+D1 = CapacityDistribution("d1", 27, 10.8, 2, 51)
+D2 = CapacityDistribution("d2", 27, 9.6, 4, 49)
+D3 = CapacityDistribution("d3", 27, 54.0, 6, 48)
+D4 = CapacityDistribution("d4", 27, 54.0, 1, 53)
+
+DISTRIBUTIONS = {"d1": D1, "d2": D2, "d3": D3, "d4": D4}

@@ -1,0 +1,73 @@
+"""Trace representation shared by all workload generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace entry.
+
+    ``kind`` is ``"insert"`` (first appearance of a URL/file) or
+    ``"lookup"`` (a subsequent reference).  ``file_index`` identifies the
+    logical file within the trace; ``client`` and ``site`` identify the
+    requesting client and the geographic trace site it belongs to.
+    """
+
+    kind: str
+    file_index: int
+    name: str
+    size: int
+    client: int = 0
+    site: int = 0
+
+
+@dataclass
+class Trace:
+    """A sequence of trace events plus summary statistics."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    n_clients: int = 1
+    n_sites: int = 1
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def inserts(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "insert"]
+
+    @property
+    def lookups(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "lookup"]
+
+    def unique_files(self) -> int:
+        return sum(1 for e in self.events if e.kind == "insert")
+
+    def total_content_bytes(self) -> int:
+        """Total bytes of unique content (what the paper reports as 18.7 GB)."""
+        return sum(e.size for e in self.events if e.kind == "insert")
+
+    def size_stats(self) -> dict:
+        sizes = sorted(e.size for e in self.events if e.kind == "insert")
+        if not sizes:
+            return {"count": 0}
+        n = len(sizes)
+        median = sizes[n // 2] if n % 2 else (sizes[n // 2 - 1] + sizes[n // 2]) / 2
+        return {
+            "count": n,
+            "total": sum(sizes),
+            "mean": sum(sizes) / n,
+            "median": median,
+            "min": sizes[0],
+            "max": sizes[-1],
+        }
+
+    def truncated(self, max_events: int) -> "Trace":
+        """The first ``max_events`` entries, as the paper truncates NLANR."""
+        return Trace(self.events[:max_events], self.n_clients, self.n_sites)

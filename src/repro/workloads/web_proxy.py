@@ -1,0 +1,193 @@
+"""Synthetic NLANR-style web-proxy workload.
+
+The paper's storage and caching experiments use 8 combined NLANR top-level
+proxy logs for 2001-03-05, truncated to 4,000,000 entries referencing
+1,863,055 unique URLs totalling 18.7 GB (mean 10,517 B, median 1,312 B,
+max 138 MB, min 0 B), with 775 distinct clients.  NLANR no longer
+distributes those traces, so this generator synthesizes a stream with the
+same published statistics:
+
+* **File sizes** — lognormal fitted to the published median and mean
+  (``mu = ln(median)``, ``sigma = sqrt(2 ln(mean/median))``), truncated at
+  the published maximum.  This reproduces the heavy tail that drives
+  replica diversion.
+* **Popularity** — Zipf-like with configurable exponent (web request
+  streams follow a Zipf distribution with alpha ~= 0.6-0.8; Breslau et
+  al. [10], cited by the paper to explain Figure 8).
+* **Clients and sites** — requests come from ``n_clients`` clients spread
+  over ``n_sites`` geographic trace sites; an affinity parameter biases
+  each file's requests towards a home site, modelling files "popular among
+  one or more local clusters of clients" (§4).
+
+The first reference to a URL is an insert; subsequent references are
+lookups — exactly how the paper plays the trace against PAST.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .trace import Trace, TraceEvent
+
+#: Published statistics of the paper's combined NLANR trace.
+PAPER_MEAN_BYTES = 10_517
+PAPER_MEDIAN_BYTES = 1_312
+PAPER_MAX_BYTES = 138_000_000
+PAPER_UNIQUE_URLS = 1_863_055
+PAPER_ENTRIES = 4_000_000
+PAPER_CLIENTS = 775
+PAPER_SITES = 8
+
+
+def lognormal_params(median: float, mean: float):
+    """Fit (mu, sigma) of a lognormal to a target median and mean.
+
+    For a lognormal, ``median = exp(mu)`` and ``mean = exp(mu + sigma^2/2)``,
+    so ``sigma = sqrt(2 ln(mean/median))``.
+    """
+    if median <= 0 or mean < median:
+        raise ValueError("need 0 < median <= mean")
+    mu = math.log(median)
+    sigma = math.sqrt(2.0 * math.log(mean / median))
+    return mu, sigma
+
+
+class WebProxyWorkload:
+    """Generator for NLANR-style traces at configurable scale."""
+
+    def __init__(
+        self,
+        n_files: Optional[int] = None,
+        total_content_bytes: Optional[int] = None,
+        requests_per_file: float = PAPER_ENTRIES / PAPER_UNIQUE_URLS,
+        zipf_alpha: float = 0.8,
+        recency_bias: float = 0.3,
+        recency_window: int = 256,
+        n_clients: int = PAPER_CLIENTS,
+        n_sites: int = PAPER_SITES,
+        site_affinity: float = 0.5,
+        mean_bytes: float = PAPER_MEAN_BYTES,
+        median_bytes: float = PAPER_MEDIAN_BYTES,
+        max_bytes: int = PAPER_MAX_BYTES,
+        seed: int = 0,
+    ):
+        if n_files is None:
+            if total_content_bytes is None:
+                raise ValueError("give n_files or total_content_bytes")
+            n_files = max(1, int(total_content_bytes / mean_bytes))
+        self.n_files = n_files
+        self.requests_per_file = requests_per_file
+        self.zipf_alpha = zipf_alpha
+        self.recency_bias = recency_bias
+        self.recency_window = recency_window
+        self.n_clients = n_clients
+        self.n_sites = n_sites
+        self.site_affinity = site_affinity
+        self.mean_bytes = mean_bytes
+        self.median_bytes = median_bytes
+        self.max_bytes = max_bytes
+        self.seed = seed
+
+    # ------------------------------------------------------------- sampling
+
+    def _rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    def sample_sizes(self, rng: np.random.Generator) -> np.ndarray:
+        mu, sigma = lognormal_params(self.median_bytes, self.mean_bytes)
+        sizes = rng.lognormal(mu, sigma, self.n_files)
+        return np.minimum(sizes, self.max_bytes).astype(np.int64)
+
+    def _zipf_probabilities(self) -> np.ndarray:
+        ranks = np.arange(1, self.n_files + 1, dtype=np.float64)
+        p = ranks ** (-self.zipf_alpha)
+        return p / p.sum()
+
+    def _client_sites(self, rng: np.random.Generator) -> np.ndarray:
+        """Assign each client to a trace site (balanced round-robin)."""
+        return np.arange(self.n_clients) % self.n_sites
+
+    # ------------------------------------------------------------ interface
+
+    def storage_trace(self) -> Trace:
+        """Insert-only trace: every unique file once, in arrival order.
+
+        This is what the storage experiments play ("the first appearance
+        of a URL being used to insert the file ... subsequent references
+        ignored").
+        """
+        rng = self._rng()
+        sizes = self.sample_sizes(rng)
+        order = rng.permutation(self.n_files)
+        client_sites = self._client_sites(rng)
+        clients = rng.integers(0, self.n_clients, self.n_files)
+        events = [
+            TraceEvent(
+                "insert",
+                int(idx),
+                f"url-{idx}",
+                int(sizes[idx]),
+                client=int(clients[i]),
+                site=int(client_sites[clients[i]]),
+            )
+            for i, idx in enumerate(order)
+        ]
+        return Trace(events, self.n_clients, self.n_sites)
+
+    def request_trace(self, n_requests: Optional[int] = None) -> Trace:
+        """Full request stream for the caching experiment (Figure 8).
+
+        First reference inserts; later references look up.  Each file has a
+        home site; with probability ``site_affinity`` a request for it
+        comes from that site's clients, otherwise from a uniform client.
+
+        The stream mixes the Zipf popularity draw with a *recency* draw:
+        with probability ``recency_bias`` the request re-references one of
+        the last ``recency_window`` referenced files.  Real proxy traces
+        exhibit exactly this temporal locality on top of their Zipf head,
+        and it is what makes caches effective early in the trace.
+        """
+        rng = self._rng()
+        if n_requests is None:
+            n_requests = int(self.n_files * self.requests_per_file)
+        sizes = self.sample_sizes(rng)
+        # Popularity rank -> file index (random assignment).
+        perm = rng.permutation(self.n_files)
+        refs = rng.choice(self.n_files, size=n_requests, p=self._zipf_probabilities())
+        file_ids = perm[refs]
+        home_sites = rng.integers(0, self.n_sites, self.n_files)
+        client_sites = self._client_sites(rng)
+        # Pre-bucket clients by site for affinity draws.
+        by_site = [np.flatnonzero(client_sites == s) for s in range(self.n_sites)]
+        uniform_clients = rng.integers(0, self.n_clients, n_requests)
+        affinity_roll = rng.random(n_requests)
+        recency_roll = rng.random(n_requests)
+        recency_pick = rng.integers(0, max(1, self.recency_window), n_requests)
+        site_pick = rng.integers(0, self.n_clients, n_requests)  # index into bucket
+
+        events = []
+        seen = set()
+        recent = []
+        for i in range(n_requests):
+            if recency_roll[i] < self.recency_bias and recent:
+                fidx = recent[-1 - (int(recency_pick[i]) % len(recent))]
+            else:
+                fidx = int(file_ids[i])
+            recent.append(fidx)
+            if len(recent) > self.recency_window:
+                del recent[: -self.recency_window]
+            if affinity_roll[i] < self.site_affinity:
+                bucket = by_site[int(home_sites[fidx])]
+                client = int(bucket[site_pick[i] % len(bucket)])
+            else:
+                client = int(uniform_clients[i])
+            site = int(client_sites[client])
+            kind = "insert" if fidx not in seen else "lookup"
+            seen.add(fidx)
+            events.append(
+                TraceEvent(kind, fidx, f"url-{fidx}", int(sizes[fidx]), client, site)
+            )
+        return Trace(events, self.n_clients, self.n_sites)

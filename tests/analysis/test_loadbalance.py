@@ -1,0 +1,72 @@
+"""Tests for the query-load-balance metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import load_balance
+
+
+class TestLoadBalance:
+    def test_empty(self):
+        stats = load_balance({})
+        assert stats.total_requests == 0
+        assert stats.gini == 0.0
+
+    def test_perfectly_flat(self):
+        stats = load_balance({i: 10 for i in range(20)})
+        assert stats.max_to_mean == pytest.approx(1.0)
+        assert stats.gini == pytest.approx(0.0, abs=1e-9)
+        assert stats.responders == 20
+
+    def test_single_hotspot(self):
+        stats = load_balance({1: 100}, population=100)
+        assert stats.gini == pytest.approx(0.99, abs=0.01)
+        assert stats.max_to_mean == pytest.approx(100.0)
+        assert stats.top5_share == 1.0
+
+    def test_top5_share(self):
+        served = {i: 1 for i in range(10)}
+        served[99] = 90
+        stats = load_balance(served)
+        assert stats.top5_share == pytest.approx(94 / 100)
+
+    def test_population_padding_increases_gini(self):
+        served = {i: 10 for i in range(10)}
+        dense = load_balance(served)
+        sparse = load_balance(served, population=100)
+        assert sparse.gini > dense.gini
+
+    def test_zero_counts_ignored(self):
+        stats = load_balance({1: 5, 2: 0, 3: 5})
+        assert stats.responders == 2
+        assert stats.total_requests == 10
+
+    @given(st.dictionaries(st.integers(0, 50), st.integers(1, 1000),
+                           min_size=1, max_size=40))
+    def test_property_gini_bounds(self, served):
+        stats = load_balance(served)
+        assert 0.0 <= stats.gini < 1.0
+        assert stats.max_to_mean >= 1.0 - 1e-9
+        assert 0.0 < stats.top5_share <= 1.0
+
+    @given(st.lists(st.integers(1, 100), min_size=2, max_size=30))
+    def test_property_scaling_invariant(self, counts):
+        """Gini is invariant to multiplying every load by a constant."""
+        a = load_balance(dict(enumerate(counts)))
+        b = load_balance({i: c * 7 for i, c in enumerate(counts)})
+        assert a.gini == pytest.approx(b.gini)
+        assert a.max_to_mean == pytest.approx(b.max_to_mean)
+
+
+class TestServedPerNode:
+    def test_network_tallies_responders(self):
+        from tests.conftest import build_past
+
+        net = build_past(n=20, capacity=3_000_000, k=3, seed=160)
+        owner = net.create_client("o")
+        res = net.insert("f", owner, 5_000, net.nodes()[0].node_id)
+        for node in net.nodes()[:5]:
+            net.lookup(res.file_id, node.node_id)
+        served = net.stats.served_per_node()
+        assert sum(served.values()) == 5
+        assert all(count > 0 for count in served.values())

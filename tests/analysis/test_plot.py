@@ -1,0 +1,52 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.analysis import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_renders_title_and_axes(self):
+        out = ascii_plot({"a": [(0, 0), (1, 1)]}, title="T", x_label="x", y_label="y")
+        assert out.startswith("T\n")
+        assert "x: x" in out and "y: y" in out
+
+    def test_markers_present(self):
+        out = ascii_plot({"a": [(0, 0), (1, 1)]})
+        assert "o" in out
+
+    def test_legend_for_multiple_series(self):
+        out = ascii_plot({"a": [(0, 0)], "b": [(1, 1)]})
+        assert "o=a" in out and "x=b" in out
+
+    def test_no_legend_for_single_series(self):
+        out = ascii_plot({"only": [(0, 0), (1, 1)]}, x_label="x")
+        assert "o=only" not in out
+
+    def test_empty_series(self):
+        out = ascii_plot({}, title="empty")
+        assert "(no data)" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_plot({"flat": [(0, 5), (1, 5), (2, 5)]})
+        assert "o" in out
+
+    def test_single_point(self):
+        out = ascii_plot({"p": [(3, 7)]})
+        assert "o" in out
+
+    def test_logy_clamps_nonpositive(self):
+        out = ascii_plot({"a": [(0, 0.0), (1, 0.1)]}, logy=True, y_label="r")
+        assert "log10" in out
+
+    def test_dimensions_respected(self):
+        out = ascii_plot({"a": [(0, 0), (1, 1)]}, width=30, height=8)
+        body = [l for l in out.splitlines() if "|" in l]
+        assert len(body) == 8
+        assert all(len(l.split("|", 1)[1]) == 30 for l in body)
+
+    def test_extremes_on_canvas(self):
+        """Min and max of both axes map inside the canvas (no IndexError)."""
+        pts = [(-5, -2), (10, 99), (3, 40)]
+        out = ascii_plot({"a": pts})
+        assert out.count("o") == 3

@@ -1,0 +1,112 @@
+"""Tests for the plain-text report renderers."""
+
+from repro.analysis import format_curve, format_sweep_table, format_table
+from repro.experiments.storage import SweepResult
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        out = format_table(["a", "bbb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_floats_formatted(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.23" in out
+
+    def test_empty_rows(self):
+        out = format_table(["x", "y"], [])
+        assert "x" in out and "y" in out
+
+
+class TestFormatSweep:
+    def test_includes_paper_columns(self):
+        sweep = SweepResult(
+            rows=[
+                {
+                    "dist": "d1",
+                    "l": 32,
+                    "t_pri": 0.1,
+                    "t_div": 0.05,
+                    "succeed_pct": 99.0,
+                    "fail_pct": 1.0,
+                    "file_diversion_pct": 3.0,
+                    "replica_diversion_pct": 15.0,
+                    "util_pct": 97.5,
+                }
+            ],
+            paper={("d1", 32): (99.3, 0.7, 3.5, 16.1, 98.2)},
+        )
+        out = format_sweep_table(
+            sweep, "dist", "Dist", "Table 2", paper_key=lambda r: (r["dist"], r["l"])
+        )
+        assert "99.00" in out
+        assert "99.30" in out  # the paper value
+        assert "98.20" in out
+
+    def test_missing_paper_row_dashes(self):
+        sweep = SweepResult(
+            rows=[
+                {
+                    "dist": "dX",
+                    "l": 8,
+                    "t_pri": 0.1,
+                    "t_div": 0.05,
+                    "succeed_pct": 90.0,
+                    "fail_pct": 10.0,
+                    "file_diversion_pct": 1.0,
+                    "replica_diversion_pct": 2.0,
+                    "util_pct": 88.0,
+                }
+            ],
+            paper={},
+        )
+        out = format_sweep_table(
+            sweep, "dist", "Dist", "T", paper_key=lambda r: (r["dist"], r["l"])
+        )
+        assert "-" in out
+
+
+class TestFormatCurve:
+    def test_downsamples(self):
+        curve = [(i / 100, i) for i in range(100)]
+        out = format_curve(curve, ["u", "v"], max_points=5)
+        lines = out.splitlines()
+        assert len(lines) <= 9
+
+    def test_keeps_short_series(self):
+        curve = [(0.1, 1), (0.2, 2)]
+        out = format_curve(curve, ["u", "v"])
+        assert out.count("\n") == 3
+
+
+class TestCachingSummary:
+    def test_format_caching_summary(self):
+        from types import SimpleNamespace
+
+        from repro.analysis import format_caching_summary
+
+        results = {
+            "gds": SimpleNamespace(hit_ratio=0.4, mean_hops=1.1,
+                                   lookup_success_ratio=1.0, utilization=0.97),
+            "none": SimpleNamespace(hit_ratio=0.0, mean_hops=1.5,
+                                    lookup_success_ratio=1.0, utilization=0.97),
+        }
+        out = format_caching_summary(results, title="F8")
+        assert out.startswith("F8")
+        assert "gds" in out and "none" in out
+        assert "0.40" in out
+
+
+class TestSummarizeRun:
+    def test_one_line_summary(self):
+        from repro.analysis import summarize_run
+        from repro.experiments import StorageRunConfig, run_storage_trace
+
+        run = run_storage_trace(
+            StorageRunConfig(n_nodes=15, capacity_scale=0.05, n_files=60, seed=1)
+        )
+        line = summarize_run(run)
+        assert "success=" in line and "util=" in line and "\n" not in line

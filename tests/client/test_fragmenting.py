@@ -1,0 +1,101 @@
+"""Tests for the fragmenting client (§3.4's fragment-and-retry)."""
+
+import os
+
+import pytest
+
+from repro.client import FragmentingClient
+from repro.core.errors import InsertFailedError
+from tests.conftest import build_past
+
+
+@pytest.fixture
+def net():
+    # 3 MB nodes with t_pri=0.1: whole files above ~300 kB will not place.
+    return build_past(n=30, capacity=3_000_000, k=3, seed=130)
+
+
+@pytest.fixture
+def owner(net):
+    return net.create_client("frag-owner")
+
+
+def gw(net):
+    return net.nodes()[0].node_id
+
+
+class TestInsert:
+    def test_small_file_not_fragmented(self, net, owner):
+        client = FragmentingClient(net, owner, fragment_size=100_000)
+        manifest = client.insert("small", gw(net), size=50_000)
+        assert not manifest.fragmented
+        assert manifest.n_fragments == 1
+
+    def test_oversized_file_fragments(self, net, owner):
+        client = FragmentingClient(net, owner, fragment_size=100_000)
+        manifest = client.insert("big", gw(net), size=950_000)
+        assert manifest.fragmented
+        assert manifest.n_fragments == 10  # ceil(950k / 100k)
+        assert manifest.total_size == 950_000
+
+    def test_fragment_ids_distinct(self, net, owner):
+        client = FragmentingClient(net, owner, fragment_size=100_000)
+        manifest = client.insert("big", gw(net), size=500_000)
+        assert len(set(manifest.file_ids)) == manifest.n_fragments
+
+    def test_impossible_file_raises_and_rolls_back(self, net, owner):
+        client = FragmentingClient(net, owner, fragment_size=50_000_000)
+        before = net.bytes_stored
+        with pytest.raises(InsertFailedError):
+            client.insert("hopeless", gw(net), size=100_000_000)
+        assert net.bytes_stored == before
+
+    def test_requires_size_or_content(self, net, owner):
+        client = FragmentingClient(net, owner)
+        with pytest.raises(ValueError):
+            client.insert("nothing", gw(net))
+
+    def test_invalid_fragment_size(self, net, owner):
+        with pytest.raises(ValueError):
+            FragmentingClient(net, owner, fragment_size=0)
+
+
+class TestLookup:
+    def test_fetch_all_fragments(self, net, owner):
+        client = FragmentingClient(net, owner, fragment_size=100_000)
+        manifest = client.insert("big", gw(net), size=500_000)
+        result = client.lookup(manifest, net.nodes()[-1].node_id)
+        assert result.success
+        assert result.fetched_fragments == manifest.n_fragments
+
+    def test_content_reassembled(self, net, owner):
+        client = FragmentingClient(net, owner, fragment_size=100_000)
+        payload = os.urandom(450_000)
+        manifest = client.insert("blob", gw(net), content=payload)
+        result = client.lookup(manifest, net.nodes()[-1].node_id)
+        assert result.success
+        assert result.content == payload
+
+    def test_lookup_fails_if_fragment_lost(self, net, owner):
+        client = FragmentingClient(net, owner, fragment_size=100_000)
+        manifest = client.insert("big", gw(net), size=500_000)
+        net.reclaim(manifest.file_ids[2], owner, gw(net))  # lose one fragment
+        result = client.lookup(manifest, net.nodes()[-1].node_id)
+        assert not result.success
+
+
+class TestReclaim:
+    def test_reclaim_frees_everything(self, net, owner):
+        client = FragmentingClient(net, owner, fragment_size=100_000)
+        before = net.bytes_stored
+        manifest = client.insert("big", gw(net), size=500_000)
+        assert client.reclaim(manifest, gw(net))
+        assert net.bytes_stored == before
+
+    def test_reclaim_credits_quota(self, net):
+        owner = net.create_client("capped", quota=3_000_000)
+        client = FragmentingClient(net, owner, fragment_size=100_000)
+        manifest = client.insert("big", gw(net), size=500_000)
+        assert owner.quota_used == 3 * 500_000
+        client.reclaim(manifest, gw(net))
+        assert owner.quota_used == 0

@@ -1,0 +1,138 @@
+"""Tests for the Reed-Solomon striping client (§3.6 integrated with PAST)."""
+
+import os
+
+import pytest
+
+from repro.client import StripingClient
+from repro.pastry import idspace
+from tests.conftest import build_past
+
+
+@pytest.fixture
+def net():
+    return build_past(n=30, capacity=3_000_000, k=3, seed=140)
+
+
+@pytest.fixture
+def owner(net):
+    return net.create_client("stripe-owner")
+
+
+def gw(net):
+    return net.nodes()[0].node_id
+
+
+class TestInsert:
+    def test_stores_all_shards(self, net, owner):
+        client = StripingClient(net, owner, n_data=4, n_parity=2)
+        manifest = client.insert("file", os.urandom(60_000), gw(net))
+        assert manifest.n_shards == 6
+        for fid in manifest.shard_file_ids:
+            assert net.is_file_registered(fid)
+
+    def test_shards_use_k_1(self, net, owner):
+        client = StripingClient(net, owner, n_data=4, n_parity=2)
+        manifest = client.insert("file", os.urandom(60_000), gw(net))
+        for fid in manifest.shard_file_ids:
+            assert net.certificate_of(fid).k == 1
+
+    def test_storage_cheaper_than_replication(self, net, owner):
+        client = StripingClient(net, owner, n_data=8, n_parity=4)
+        payload = os.urandom(240_000)
+        before = net.bytes_stored
+        client.insert("file", payload, gw(net))
+        stored = net.bytes_stored - before
+        # (8+4)/8 = 1.5x versus k=3 -> 3x for whole-file replication.
+        assert stored < 2 * len(payload)
+        assert client.storage_overhead() == pytest.approx(1.5)
+
+    def test_invalid_params(self, net, owner):
+        with pytest.raises(ValueError):
+            StripingClient(net, owner, n_data=0)
+
+
+class TestLookup:
+    def test_roundtrip(self, net, owner):
+        client = StripingClient(net, owner, n_data=4, n_parity=2)
+        payload = os.urandom(50_000)
+        manifest = client.insert("file", payload, gw(net))
+        result = client.lookup(manifest, net.nodes()[-1].node_id)
+        assert result.success
+        assert result.content == payload
+        assert result.shards_fetched == 4  # stops after n_data shards
+
+    def test_survives_n_parity_losses(self, net, owner):
+        client = StripingClient(net, owner, n_data=4, n_parity=2)
+        payload = os.urandom(50_000)
+        manifest = client.insert("file", payload, gw(net))
+        # Destroy the (single) replicas of two shards.
+        lost = 0
+        for fid in manifest.shard_file_ids:
+            if lost >= 2:
+                break
+            holder = net.pastry.k_closest_live(idspace.routing_key(fid), 1)[0]
+            node = net.past_node(holder)
+            if node.store.holds_file(fid):
+                node.store.drop_replica(fid)
+                net._contents.pop(fid, None)
+                lost += 1
+        assert lost == 2
+        result = client.lookup(manifest, net.nodes()[-1].node_id)
+        assert result.success
+        assert result.content == payload
+
+    def test_fails_beyond_tolerance(self, net, owner):
+        client = StripingClient(net, owner, n_data=4, n_parity=1)
+        payload = os.urandom(50_000)
+        manifest = client.insert("file", payload, gw(net))
+        lost = 0
+        for fid in manifest.shard_file_ids:
+            if lost >= 2:
+                break
+            holder = net.pastry.k_closest_live(idspace.routing_key(fid), 1)[0]
+            node = net.past_node(holder)
+            if node.store.holds_file(fid):
+                node.store.drop_replica(fid)
+                net._contents.pop(fid, None)
+                lost += 1
+        result = client.lookup(manifest, net.nodes()[-1].node_id)
+        assert not result.success
+        assert result.content is None
+
+
+class TestReclaim:
+    def test_reclaim_frees_all_shards(self, net, owner):
+        client = StripingClient(net, owner, n_data=4, n_parity=2)
+        before = net.bytes_stored
+        manifest = client.insert("file", os.urandom(60_000), gw(net))
+        assert client.reclaim(manifest, gw(net))
+        assert net.bytes_stored == before
+
+
+class TestDistinctPlacement:
+    def test_shards_on_distinct_nodes(self, net, owner):
+        """§3.6: losing one node must cost at most one shard."""
+        from repro.pastry import idspace
+
+        client = StripingClient(net, owner, n_data=8, n_parity=4)
+        manifest = client.insert("wide", os.urandom(120_000), gw(net))
+        holders = []
+        for fid in manifest.shard_file_ids:
+            holder = net.pastry.k_closest_live(idspace.routing_key(fid), 1)[0]
+            assert net.past_node(holder).store.holds_file(fid)
+            holders.append(holder)
+        assert len(set(holders)) == len(holders)
+
+    def test_single_node_loss_costs_one_shard(self, net, owner):
+        from repro.pastry import idspace
+
+        client = StripingClient(net, owner, n_data=6, n_parity=3)
+        payload = os.urandom(90_000)
+        manifest = client.insert("single-loss", payload, gw(net))
+        fid = manifest.shard_file_ids[0]
+        holder = net.pastry.k_closest_live(idspace.routing_key(fid), 1)[0]
+        net.fail_simultaneously([holder])
+        result = client.lookup(manifest, gw(net))
+        assert result.success
+        assert result.content == payload

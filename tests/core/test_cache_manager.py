@@ -1,0 +1,115 @@
+"""Tests for the per-node cache manager (insertion policy + elasticity)."""
+
+import pytest
+
+from repro.core.cache import CacheManager, make_policy
+
+
+def make(available=1000, fraction=1.0, policy="gds"):
+    state = {"available": available}
+    mgr = CacheManager(
+        make_policy(policy), available_fn=lambda: state["available"], insert_fraction=fraction
+    )
+    return mgr, state
+
+
+class TestInsertionPolicy:
+    def test_caches_small_file(self):
+        mgr, _ = make(available=1000)
+        assert mgr.consider(1, 100)
+        assert 1 in mgr
+        assert mgr.bytes_used == 100
+
+    def test_rejects_file_at_or_above_fraction(self):
+        """The paper: cache iff size is less than fraction c of cache size."""
+        mgr, _ = make(available=1000, fraction=0.5)
+        assert not mgr.consider(1, 500)  # 500 is not < 0.5 * 1000
+        assert mgr.consider(2, 499)
+
+    def test_rejects_zero_size(self):
+        mgr, _ = make()
+        assert not mgr.consider(1, 0)
+
+    def test_duplicate_not_reinserted(self):
+        mgr, _ = make()
+        mgr.consider(1, 100)
+        assert not mgr.consider(1, 100)
+        assert mgr.insertions == 1
+
+    def test_disabled_policy_caches_nothing(self):
+        mgr, _ = make(policy="none")
+        assert not mgr.consider(1, 10)
+        assert not mgr.enabled
+
+    def test_eviction_makes_room(self):
+        mgr, _ = make(available=1000)
+        mgr.consider(1, 600)
+        assert mgr.consider(2, 600)  # evicts 1
+        assert 1 not in mgr and 2 in mgr
+        assert mgr.evictions == 1
+
+
+class TestLookup:
+    def test_hit_and_miss_counters(self):
+        mgr, _ = make()
+        mgr.consider(1, 100)
+        assert mgr.lookup(1)
+        assert not mgr.lookup(2)
+        assert mgr.hits == 1 and mgr.misses == 1
+
+    def test_hit_protects_entry_under_gds(self):
+        mgr, _ = make(available=1000)
+        mgr.consider(1, 400)
+        mgr.consider(2, 400)
+        mgr.lookup(1)  # refresh 1
+        mgr.consider(3, 400)  # must evict someone
+        assert 1 in mgr
+
+    def test_size_of(self):
+        mgr, _ = make()
+        mgr.consider(1, 123)
+        assert mgr.size_of(1) == 123
+        assert mgr.size_of(2) is None
+
+
+class TestElasticity:
+    def test_shrink_to_discards_entries(self):
+        mgr, state = make(available=1000)
+        mgr.consider(1, 400)
+        mgr.consider(2, 400)
+        state["available"] = 500  # a replica claimed the space
+        mgr.shrink_to(500)
+        assert mgr.bytes_used <= 500
+        assert len(mgr) == 1
+
+    def test_shrink_to_zero_clears(self):
+        mgr, _ = make(available=1000)
+        mgr.consider(1, 400)
+        mgr.shrink_to(0)
+        assert mgr.bytes_used == 0 and len(mgr) == 0
+
+    def test_shrink_noop_when_fits(self):
+        mgr, _ = make(available=1000)
+        mgr.consider(1, 400)
+        mgr.shrink_to(900)
+        assert 1 in mgr
+
+    def test_remove_explicit(self):
+        mgr, _ = make()
+        mgr.consider(1, 100)
+        assert mgr.remove(1)
+        assert not mgr.remove(1)
+        assert mgr.bytes_used == 0
+
+    def test_clear(self):
+        mgr, _ = make()
+        mgr.consider(1, 100)
+        mgr.consider(2, 100)
+        mgr.clear()
+        assert len(mgr) == 0 and mgr.bytes_used == 0
+
+    def test_files_iterates_entries(self):
+        mgr, _ = make()
+        mgr.consider(1, 100)
+        mgr.consider(2, 100)
+        assert set(mgr.files()) == {1, 2}

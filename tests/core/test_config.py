@@ -1,0 +1,68 @@
+"""Tests for PastConfig validation."""
+
+import pytest
+
+from repro.core import NO_DIVERSION_CONFIG, PAPER_CONFIG, PastConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        assert PAPER_CONFIG.b == 4
+        assert PAPER_CONFIG.l == 32
+        assert PAPER_CONFIG.k == 5
+        assert PAPER_CONFIG.t_pri == 0.1
+        assert PAPER_CONFIG.t_div == 0.05
+        assert PAPER_CONFIG.cache_policy == "gds"
+        assert PAPER_CONFIG.max_insert_attempts == 4
+
+    def test_no_diversion_config(self):
+        assert NO_DIVERSION_CONFIG.t_pri == 1.0
+        assert NO_DIVERSION_CONFIG.t_div == 0.0
+        assert NO_DIVERSION_CONFIG.max_insert_attempts == 1
+
+
+class TestValidation:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PastConfig(k=0)
+
+    def test_k_bounded_by_leafset(self):
+        """The paper: k can be no larger than l/2 + 1."""
+        PastConfig(k=9, l=16)  # exactly l/2 + 1 is fine
+        with pytest.raises(ValueError):
+            PastConfig(k=10, l=16)
+
+    def test_t_pri_at_least_t_div(self):
+        with pytest.raises(ValueError):
+            PastConfig(t_pri=0.01, t_div=0.05)
+
+    def test_negative_t_div_rejected(self):
+        with pytest.raises(ValueError):
+            PastConfig(t_div=-0.1)
+
+    def test_unknown_cache_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PastConfig(cache_policy="fifo")
+
+    def test_unknown_diversion_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PastConfig(divert_target_policy="least_loaded")
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            PastConfig(max_insert_attempts=0)
+
+
+class TestOverrides:
+    def test_with_overrides_copies(self):
+        cfg = PastConfig().with_overrides(k=3, l=16)
+        assert cfg.k == 3 and cfg.l == 16
+        assert PastConfig().k == 5  # original untouched
+
+    def test_with_overrides_revalidates(self):
+        with pytest.raises(ValueError):
+            PastConfig().with_overrides(k=100)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PastConfig().k = 7

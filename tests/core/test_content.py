@@ -1,0 +1,69 @@
+"""Tests for content-bearing inserts (real bytes + real SHA-1)."""
+
+import os
+
+import pytest
+
+from repro.security import CertificateError
+from repro.security.certificates import content_hash
+from tests.conftest import build_past
+
+
+@pytest.fixture
+def net():
+    return build_past(n=24, capacity=3_000_000, k=3, seed=150)
+
+
+@pytest.fixture
+def owner(net):
+    return net.create_client("o")
+
+
+class TestContentInsert:
+    def test_roundtrip(self, net, owner):
+        data = os.urandom(10_000)
+        result = net.insert("blob", owner, client_id=net.nodes()[0].node_id, content=data)
+        assert result.success
+        fetched = net.lookup(result.file_id, net.nodes()[-1].node_id)
+        assert fetched.content == data
+
+    def test_size_defaults_to_len(self, net, owner):
+        data = b"x" * 5_000
+        result = net.insert("blob", owner, client_id=net.nodes()[0].node_id, content=data)
+        assert result.size == 5_000
+        assert net.certificate_of(result.file_id).size == 5_000
+
+    def test_size_mismatch_rejected(self, net, owner):
+        with pytest.raises(ValueError):
+            net.insert("blob", owner, size=7, client_id=net.nodes()[0].node_id,
+                       content=b"12345")
+
+    def test_neither_size_nor_content_rejected(self, net, owner):
+        with pytest.raises(ValueError):
+            net.insert("blob", owner, client_id=net.nodes()[0].node_id)
+
+    def test_certificate_carries_real_hash(self, net, owner):
+        data = os.urandom(2_000)
+        result = net.insert("blob", owner, client_id=net.nodes()[0].node_id, content=data)
+        cert = net.certificate_of(result.file_id)
+        assert cert.content_hash == content_hash(data)
+        cert.verify_content(len(data), content=data)
+
+    def test_corrupted_content_detected(self, net, owner):
+        data = os.urandom(2_000)
+        result = net.insert("blob", owner, client_id=net.nodes()[0].node_id, content=data)
+        cert = net.certificate_of(result.file_id)
+        with pytest.raises(CertificateError):
+            cert.verify_content(len(data), content=b"evil" + data[4:])
+
+    def test_content_free_lookup_has_no_bytes(self, net, owner):
+        result = net.insert("sized", owner, size=5_000, client_id=net.nodes()[0].node_id)
+        fetched = net.lookup(result.file_id, net.nodes()[-1].node_id)
+        assert fetched.success
+        assert fetched.content is None
+
+    def test_reclaim_drops_content(self, net, owner):
+        data = os.urandom(1_000)
+        result = net.insert("blob", owner, client_id=net.nodes()[0].node_id, content=data)
+        net.reclaim(result.file_id, owner, net.nodes()[0].node_id)
+        assert net._contents.get(result.file_id) is None

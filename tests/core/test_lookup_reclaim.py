@@ -1,0 +1,139 @@
+"""Tests for Lookup and Reclaim."""
+
+import pytest
+
+from repro.pastry import idspace
+from tests.conftest import build_past
+
+
+@pytest.fixture
+def net():
+    return build_past(n=30, capacity=5_000_000, k=3, seed=60)
+
+
+@pytest.fixture
+def owner(net):
+    return net.create_client("owner")
+
+
+class TestLookup:
+    def test_lookup_finds_inserted_file(self, net, owner):
+        ins = net.insert("a.txt", owner, 10_000, net.nodes()[0].node_id)
+        res = net.lookup(ins.file_id, net.nodes()[-1].node_id)
+        assert res.success
+        assert res.source in ("primary", "diverted", "pointer", "cache")
+        assert res.certificate.file_id == ins.file_id
+
+    def test_lookup_unknown_file_fails(self, net):
+        res = net.lookup(12345678901234567890, net.nodes()[0].node_id)
+        assert not res.success
+        assert res.source is None
+
+    def test_lookup_from_replica_holder_is_zero_hops(self, net, owner):
+        ins = net.insert("a.txt", owner, 10_000, net.nodes()[0].node_id)
+        key = idspace.routing_key(ins.file_id)
+        holder = None
+        for m in net.pastry.k_closest_live(key, 3):
+            if net.past_node(m).store.holds_file(ins.file_id):
+                holder = m
+                break
+        res = net.lookup(ins.file_id, holder)
+        assert res.success and res.hops == 0
+
+    def test_lookup_stops_at_first_copy(self, net, owner):
+        """The request is not routed further once any node can serve it."""
+        ins = net.insert("a.txt", owner, 10_000, net.nodes()[0].node_id)
+        res = net.lookup(ins.file_id, net.nodes()[-1].node_id)
+        assert res.responder_id is not None
+        # The responder really has the file (replica, cache or pointer).
+        responder = net.past_node(res.responder_id)
+        assert (
+            responder.store.references_file(ins.file_id)
+            or ins.file_id in responder.store.cache
+        )
+
+    def test_lookup_populates_caches_along_path(self, net, owner):
+        ins = net.insert("tiny.txt", owner, 500, net.nodes()[0].node_id)
+        origin = net.nodes()[-1].node_id
+        net.lookup(ins.file_id, origin)
+        # A repeat lookup from the same origin must be served closer.
+        second = net.lookup(ins.file_id, origin)
+        assert second.success
+        assert second.hops == 0
+        assert second.source == "cache"
+
+    def test_lookup_stats_recorded(self, net, owner):
+        ins = net.insert("a.txt", owner, 10_000, net.nodes()[0].node_id)
+        net.lookup(ins.file_id, net.nodes()[-1].node_id)
+        assert len(net.stats.lookups) == 1
+        event = net.stats.lookups[0]
+        assert event.success and event.hops >= 0
+
+    def test_lookup_survives_partial_replica_failure(self, net, owner):
+        ins = net.insert("a.txt", owner, 10_000, net.nodes()[0].node_id)
+        key = idspace.routing_key(ins.file_id)
+        kset = net.pastry.k_closest_live(key, 3)
+        net.fail_node(kset[0])
+        res = net.lookup(ins.file_id, net.nodes()[5].node_id)
+        assert res.success
+
+
+class TestReclaim:
+    def test_reclaim_frees_storage(self, net, owner):
+        ins = net.insert("a.txt", owner, 10_000, net.nodes()[0].node_id)
+        before = net.bytes_stored
+        res = net.reclaim(ins.file_id, owner, net.nodes()[0].node_id)
+        assert res.success
+        assert net.bytes_stored == before - 3 * 10_000
+
+    def test_reclaim_returns_receipts(self, net, owner):
+        ins = net.insert("a.txt", owner, 10_000, net.nodes()[0].node_id)
+        res = net.reclaim(ins.file_id, owner, net.nodes()[0].node_id)
+        assert len(res.receipts) >= 3
+        for receipt in res.receipts:
+            receipt.verify()
+
+    def test_reclaim_credits_quota(self, net):
+        limited = net.create_client("limited", quota=100_000)
+        ins = net.insert("a.txt", limited, 10_000, net.nodes()[0].node_id)
+        net.reclaim(ins.file_id, limited, net.nodes()[0].node_id)
+        assert limited.quota_used == 0
+
+    def test_reclaim_by_non_owner_rejected(self, net, owner):
+        eve = net.create_client("eve")
+        ins = net.insert("a.txt", owner, 10_000, net.nodes()[0].node_id)
+        res = net.reclaim(ins.file_id, eve, net.nodes()[0].node_id)
+        assert not res.success
+        # File still fully present.
+        assert net.lookup(ins.file_id, net.nodes()[3].node_id).success
+
+    def test_reclaim_unknown_file_fails(self, net, owner):
+        res = net.reclaim(999, owner, net.nodes()[0].node_id)
+        assert not res.success
+
+    def test_lookup_after_reclaim_misses_replicas(self, net, owner):
+        """With caching off, a reclaimed file becomes unavailable."""
+        ins = net.insert("a.txt", owner, 10_000, net.nodes()[0].node_id)
+        net.reclaim(ins.file_id, owner, net.nodes()[0].node_id)
+        res = net.lookup(ins.file_id, net.nodes()[7].node_id)
+        assert not res.success
+
+    def test_reclaim_weaker_than_delete_with_caching(self):
+        """Cached copies may outlive reclaim (§2.2's weaker semantics)."""
+        net = build_past(n=30, capacity=5_000_000, k=3, seed=61, cache_policy="gds")
+        owner = net.create_client("owner")
+        ins = net.insert("tiny", owner, 400, net.nodes()[0].node_id)
+        origin = net.nodes()[-1].node_id
+        net.lookup(ins.file_id, origin)  # seeds caches along the path
+        net.reclaim(ins.file_id, owner, net.nodes()[0].node_id)
+        res = net.lookup(ins.file_id, origin)
+        # Either outcome is legal, but if it succeeds it must be a cache hit.
+        if res.success:
+            assert res.source == "cache"
+
+    def test_reinsert_after_reclaim(self, net, owner):
+        ins = net.insert("a.txt", owner, 10_000, net.nodes()[0].node_id)
+        net.reclaim(ins.file_id, owner, net.nodes()[0].node_id)
+        again = net.insert("a.txt", owner, 10_000, net.nodes()[0].node_id)
+        assert again.success
+        assert again.file_id != ins.file_id  # fresh salt, fresh fileId

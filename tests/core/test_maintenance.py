@@ -1,0 +1,189 @@
+"""Tests for replica maintenance under joins, failures and recovery (§3.5)."""
+
+import random
+
+import pytest
+
+from repro import audit
+from repro.pastry import idspace
+from tests.conftest import build_past, fill_network
+
+
+def insert_files(net, owner, count=40, size=20_000, seed=80):
+    rng = random.Random(seed)
+    node_ids = [n.node_id for n in net.nodes()]
+    fids = []
+    for i in range(count):
+        res = net.insert(f"m{i}", owner, size, node_ids[rng.randrange(len(node_ids))])
+        assert res.success
+        fids.append(res.file_id)
+    return fids
+
+
+class TestFailureMaintenance:
+    def test_replicas_recreated_after_failure(self):
+        net = build_past(n=30, capacity=5_000_000, k=3, seed=81)
+        owner = net.create_client("o")
+        fids = insert_files(net, owner)
+        victim = net.pastry.node_ids[7]
+        net.fail_node(victim)
+        report = audit(net)
+        assert report.ok, report.violations[:3]
+        for fid in fids:
+            kset = net.pastry.k_closest_live(idspace.routing_key(fid), 3)
+            assert all(net.past_node(m).store.references_file(fid) for m in kset)
+
+    def test_sequential_failures_keep_invariant(self):
+        net = build_past(n=40, capacity=5_000_000, k=3, seed=82)
+        owner = net.create_client("o")
+        insert_files(net, owner, count=60)
+        rng = random.Random(83)
+        ids = list(net.pastry.node_ids)
+        rng.shuffle(ids)
+        for victim in ids[:10]:
+            net.fail_node(victim)
+        assert audit(net).ok
+
+    def test_files_survive_k_minus_1_failures(self):
+        net = build_past(n=30, capacity=5_000_000, k=3, seed=84)
+        owner = net.create_client("o")
+        res = net.insert("precious", owner, 30_000, net.nodes()[0].node_id)
+        for _ in range(2):  # fail k-1 = 2 of the current holders, one at a time
+            kset = net.pastry.k_closest_live(idspace.routing_key(res.file_id), 3)
+            holder = next(
+                m for m in kset if net.past_node(m).store.holds_file(res.file_id)
+            )
+            net.fail_node(holder)
+        lookup = net.lookup(res.file_id, net.nodes()[0].node_id)
+        assert lookup.success
+
+    def test_degraded_when_no_space_anywhere(self):
+        """At saturation, re-replication may fail; the file is flagged."""
+        net = build_past(n=14, capacity=500_000, k=3, l=8, seed=85, t_pri=1.0)
+        owner = net.create_client("o")
+        rng = random.Random(85)
+        fill_network(net, rng, target_util=0.97, owner=owner, max_size=120_000)
+        victims = list(net.pastry.node_ids)[:2]
+        for v in victims:
+            net.fail_node(v)
+        # Either everything was re-replicated (k invariant holds) or the
+        # shortfall is recorded in degraded_files; the audit accepts both.
+        assert audit(net).ok
+
+
+class TestJoinMaintenance:
+    def test_newcomer_acquires_entries(self):
+        net = build_past(n=25, capacity=5_000_000, k=3, seed=86)
+        owner = net.create_client("o")
+        fids = insert_files(net, owner, count=50)
+        newcomers = [n.node_id for batch in range(6) for n in net.add_node(5_000_000)]
+        assert audit(net).ok
+        for fid in fids:
+            kset = net.pastry.k_closest_live(idspace.routing_key(fid), 3)
+            for m in kset:
+                assert net.past_node(m).store.references_file(fid)
+
+    def test_join_offer_installs_pointer_not_copy(self):
+        """§3.5: a joining node may install a pointer to the displaced node
+        instead of copying the file immediately."""
+        net = build_past(n=25, capacity=5_000_000, k=3, seed=87)
+        owner = net.create_client("o")
+        insert_files(net, owner, count=50)
+        before_bytes = net.bytes_stored
+        new_nodes = net.add_node(5_000_000)
+        # Pointer-based acquisition moves no bytes (or very few if the
+        # displaced holder was unavailable).
+        assert net.bytes_stored <= before_bytes + 60_000
+        assert audit(net).ok
+
+    def test_displaced_node_discards_when_safe(self):
+        net = build_past(n=20, capacity=5_000_000, k=2, l=8, seed=88)
+        owner = net.create_client("o")
+        insert_files(net, owner, count=30, seed=88)
+        total_entries_before = sum(
+            len(n.store.primaries) + len(n.store.pointers) for n in net.nodes()
+        )
+        for _ in range(10):
+            net.add_node(5_000_000)
+        assert audit(net).ok
+        # No uncontrolled growth of entries: each file needs ~k entries.
+        total_entries_after = sum(
+            len(n.store.primaries) + len(n.store.pointers) for n in net.nodes()
+        )
+        assert total_entries_after <= total_entries_before + 35
+
+
+class TestRecovery:
+    def test_recovered_node_rejoins_with_disk(self):
+        net = build_past(n=30, capacity=5_000_000, k=3, seed=89)
+        owner = net.create_client("o")
+        fids = insert_files(net, owner)
+        victim = net.pastry.node_ids[5]
+        held = [
+            fid for fid in fids
+            if net.past_node(victim).store.holds_file(fid)
+        ]
+        net.fail_node(victim)
+        net.recover_node(victim)
+        assert audit(net).ok
+        for fid in fids:
+            assert net.lookup(fid, net.nodes()[0].node_id).success
+
+    def test_recovery_drops_reclaimed_files(self):
+        net = build_past(n=30, capacity=5_000_000, k=3, seed=90)
+        owner = net.create_client("o")
+        res = net.insert("doomed", owner, 10_000, net.nodes()[0].node_id)
+        key = idspace.routing_key(res.file_id)
+        holder = next(
+            m for m in net.pastry.k_closest_live(key, 3)
+            if net.past_node(m).store.holds_file(res.file_id)
+        )
+        net.fail_node(holder)
+        net.reclaim(res.file_id, owner, net.nodes()[0].node_id)
+        net.recover_node(holder)
+        assert not net.past_node(holder).store.references_file(res.file_id)
+        assert audit(net).ok
+
+    def test_churn_storm_preserves_invariants(self):
+        net = build_past(n=35, capacity=5_000_000, k=3, l=8, seed=91)
+        owner = net.create_client("o")
+        fids = insert_files(net, owner, count=60, seed=91)
+        rng = random.Random(92)
+        failed = []
+        for _ in range(25):
+            roll = rng.random()
+            if roll < 0.4 and len(net) > 20:
+                victim = rng.choice(net.pastry.node_ids)
+                net.fail_node(victim)
+                failed.append(victim)
+            elif roll < 0.6 and failed:
+                net.recover_node(failed.pop())
+            else:
+                net.add_node(5_000_000)
+        assert audit(net).ok
+        found = sum(
+            net.lookup(fid, net.nodes()[0].node_id).success for fid in fids
+        )
+        assert found == len(fids)
+
+
+class TestMigration:
+    def test_migration_pulls_replicas_home(self):
+        net = build_past(n=25, capacity=5_000_000, k=3, seed=93)
+        owner = net.create_client("o")
+        insert_files(net, owner, count=50, seed=93)
+        for _ in range(6):
+            net.add_node(5_000_000)
+        pointers_before = sum(len(n.store.pointers) for n in net.nodes())
+        migrated = net.run_migration(rounds=3)
+        pointers_after = sum(len(n.store.pointers) for n in net.nodes())
+        assert migrated >= 0
+        assert pointers_after <= pointers_before
+        assert audit(net).ok
+
+    def test_migration_idempotent_when_stable(self):
+        net = build_past(n=25, capacity=5_000_000, k=3, seed=94)
+        owner = net.create_client("o")
+        insert_files(net, owner, count=20, seed=94)
+        net.run_migration(rounds=3)
+        assert net.run_migration(rounds=1) == 0

@@ -1,0 +1,77 @@
+"""Tests for the per-node caching hooks of PAST (§4)."""
+
+import pytest
+
+from repro.pastry import idspace
+from tests.conftest import build_past
+
+
+@pytest.fixture
+def net():
+    return build_past(n=24, capacity=5_000_000, k=3, seed=120, cache_policy="gds")
+
+
+@pytest.fixture
+def owner(net):
+    return net.create_client("o")
+
+
+class TestRoutedCaching:
+    def test_insert_populates_route_caches(self, net, owner):
+        origin = net.nodes()[0].node_id
+        res = net.insert("a", owner, 2_000, origin)
+        key = idspace.routing_key(res.file_id)
+        kset = set(net.pastry.k_closest_live(key, 3))
+        cached_somewhere = any(
+            res.file_id in n.store.cache for n in net.nodes() if n.node_id not in kset
+        )
+        origin_holds = net.past_node(origin).store.references_file(res.file_id)
+        assert cached_somewhere or origin_holds
+
+    def test_replica_holder_does_not_cache_own_file(self, net, owner):
+        res = net.insert("a", owner, 2_000, net.nodes()[0].node_id)
+        key = idspace.routing_key(res.file_id)
+        for m in net.pastry.k_closest_live(key, 3):
+            node = net.past_node(m)
+            if node.store.holds_file(res.file_id):
+                assert res.file_id not in node.store.cache
+
+    def test_cache_hit_serves_lookup_locally(self, net, owner):
+        res = net.insert("a", owner, 2_000, net.nodes()[0].node_id)
+        origin = net.nodes()[-1].node_id
+        first = net.lookup(res.file_id, origin)
+        second = net.lookup(res.file_id, origin)
+        assert second.hops <= first.hops
+        if net.past_node(origin).store.cache.enabled:
+            assert second.source == "cache" or second.hops == 0
+
+    def test_cached_copy_discarded_for_replica(self, net, owner):
+        """Cached copies yield to primary/diverted replicas at any time."""
+        node = net.nodes()[0]
+        node.store.cache.consider(999, node.store.cache_space() - 1_000)
+        cert = owner.issue_file_certificate(1, node.store.free - 500, 1, 0, 0)
+        node.store.store_replica(cert, diverted=False)
+        assert node.store.used + node.store.cache.bytes_used <= node.store.capacity
+
+    def test_cache_disabled_network(self):
+        net = build_past(n=20, capacity=5_000_000, k=3, seed=121, cache_policy="none")
+        owner = net.create_client("o")
+        res = net.insert("a", owner, 2_000, net.nodes()[0].node_id)
+        assert all(res.file_id not in n.store.cache for n in net.nodes())
+
+    def test_cache_fraction_blocks_large_files(self):
+        net = build_past(
+            n=20, capacity=5_000_000, k=3, seed=122,
+            cache_policy="gds", cache_fraction=0.001,
+        )
+        owner = net.create_client("o")
+        res = net.insert("big-ish", owner, 100_000, net.nodes()[0].node_id)
+        net.lookup(res.file_id, net.nodes()[-1].node_id)
+        assert all(res.file_id not in n.store.cache for n in net.nodes())
+
+    def test_cache_hit_ratio_reported(self, net, owner):
+        res = net.insert("a", owner, 2_000, net.nodes()[0].node_id)
+        origin = net.nodes()[-1].node_id
+        net.lookup(res.file_id, origin)
+        net.lookup(res.file_id, origin)
+        assert 0.0 <= net.stats.global_cache_hit_ratio() <= 1.0

@@ -1,0 +1,86 @@
+"""Stateful property test for the full PAST stack.
+
+Hypothesis drives random sequences of insert / lookup / reclaim / fail /
+recover / join operations against a live deployment.  After every step:
+every successfully inserted, unreclaimed file must be retrievable (barring
+total replica loss), and at the end the invariant audit must pass.
+"""
+
+import random
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro import PastConfig, PastNetwork, audit
+
+
+class PastMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.net = PastNetwork(PastConfig(l=8, k=3, seed=77, cache_policy="gds"))
+        self.net.build([2_000_000] * 16)
+        self.owner = self.net.create_client("stateful")
+        self.rng = random.Random(77)
+        self.live = {}  # fid -> size
+        self.failed_nodes = []
+        self.counter = 0
+
+    def _origin(self):
+        ids = self.net.pastry.node_ids
+        return ids[self.rng.randrange(len(ids))]
+
+    @rule(size=st.integers(min_value=0, max_value=150_000))
+    def insert(self, size):
+        self.counter += 1
+        result = self.net.insert(
+            f"sf{self.counter}", self.owner, size, self._origin()
+        )
+        if result.success:
+            self.live[result.file_id] = size
+
+    @precondition(lambda self: bool(self.live))
+    @rule(pick=st.integers(min_value=0, max_value=10**9))
+    def lookup(self, pick):
+        fids = sorted(self.live)
+        fid = fids[pick % len(fids)]
+        result = self.net.lookup(fid, self._origin())
+        assert result.success
+        assert result.certificate.size == self.live[fid]
+
+    @precondition(lambda self: bool(self.live))
+    @rule(pick=st.integers(min_value=0, max_value=10**9))
+    def reclaim(self, pick):
+        fids = sorted(self.live)
+        fid = fids[pick % len(fids)]
+        result = self.net.reclaim(fid, self.owner, self._origin())
+        assert result.success
+        del self.live[fid]
+
+    @precondition(lambda self: len(self.net) > 10)
+    @rule(pick=st.integers(min_value=0, max_value=10**9))
+    def fail_node(self, pick):
+        ids = self.net.pastry.node_ids
+        victim = ids[pick % len(ids)]
+        self.net.fail_node(victim)
+        self.failed_nodes.append(victim)
+
+    @precondition(lambda self: bool(self.failed_nodes))
+    @rule()
+    def recover_node(self):
+        self.net.recover_node(self.failed_nodes.pop())
+
+    @rule()
+    def join_node(self):
+        if len(self.net) < 30:
+            self.net.add_node(2_000_000)
+
+    @invariant()
+    def audit_clean(self):
+        report = audit(self.net)
+        assert report.ok, report.violations[:3]
+
+
+TestPastStateful = PastMachine.TestCase
+TestPastStateful.settings = settings(
+    max_examples=6, stateful_step_count=12, deadline=None
+)

@@ -1,0 +1,115 @@
+"""Tests for the experiment statistics collector."""
+
+import pytest
+
+from repro.core.stats import InsertEvent, LookupEvent, PastStats
+
+
+def ins(size=100, success=True, util=0.5, fdiv=0, rdiv=0, stored=3):
+    return InsertEvent(size, success, util, fdiv, rdiv, stored)
+
+
+def look(fid=1, hops=2, success=True, source="primary", util=0.5):
+    return LookupEvent(fid, hops, success, source, util)
+
+
+class TestInsertAccounting:
+    def test_counters(self):
+        s = PastStats()
+        s.record_insert(ins(success=True))
+        s.record_insert(ins(success=False, stored=0))
+        assert s.insert_attempts == 2
+        assert s.insert_successes == 1
+        assert s.insert_failures == 1
+        assert s.success_ratio() == 0.5
+        assert s.failure_ratio() == 0.5
+
+    def test_empty_ratios(self):
+        s = PastStats()
+        assert s.success_ratio() == 0.0
+        assert s.failure_ratio() == 0.0
+
+    def test_file_diversion_ratio_over_successes(self):
+        """Table 2's column: % of successful inserts that re-salted."""
+        s = PastStats()
+        s.record_insert(ins(success=True, fdiv=0))
+        s.record_insert(ins(success=True, fdiv=2))
+        s.record_insert(ins(success=False, stored=0))
+        assert s.file_diversion_ratio() == 0.5
+
+    def test_replica_diversion_ratio_over_stored(self):
+        s = PastStats()
+        s.record_insert(ins(success=True, rdiv=1, stored=3))
+        s.record_insert(ins(success=True, rdiv=0, stored=3))
+        assert s.replica_diversion_ratio() == pytest.approx(1 / 6)
+
+    def test_cumulative_failure_curve_monotone_x(self):
+        s = PastStats()
+        for i in range(50):
+            s.record_insert(ins(success=(i % 5 != 0), util=i / 50))
+        curve = s.cumulative_failure_curve(bins=10)
+        assert len(curve) <= 12
+        utils = [u for u, _ in curve]
+        assert utils == sorted(utils)
+        # Final point reflects the overall failure ratio.
+        assert curve[-1][1] == pytest.approx(10 / 50)
+
+    def test_file_diversion_curves_shape(self):
+        s = PastStats()
+        s.record_insert(ins(success=True, fdiv=1, util=0.1))
+        s.record_insert(ins(success=True, fdiv=2, util=0.2))
+        s.record_insert(ins(success=True, fdiv=3, util=0.3))
+        curves = s.file_diversion_curves()
+        assert len(curves) == 3
+        util, r1, r2, r3, fail = curves[-1]
+        assert (r1, r2, r3) == (pytest.approx(1 / 3),) * 3
+        assert fail == 0.0
+
+    def test_replica_diversion_curve(self):
+        s = PastStats()
+        s.record_insert(ins(success=True, rdiv=3, stored=3, util=0.2))
+        s.record_insert(ins(success=True, rdiv=0, stored=3, util=0.4))
+        curve = s.replica_diversion_curve()
+        assert curve[0][1] == pytest.approx(1.0)
+        assert curve[-1][1] == pytest.approx(0.5)
+
+    def test_failed_insert_sizes(self):
+        s = PastStats()
+        s.record_insert(ins(size=111, success=False, util=0.9, stored=0))
+        s.record_insert(ins(size=5, success=True))
+        assert s.failed_insert_sizes() == [(0.9, 111)]
+
+
+class TestLookupAccounting:
+    def test_hit_ratio_over_successes(self):
+        s = PastStats()
+        s.record_lookup(look(source="cache"))
+        s.record_lookup(look(source="primary"))
+        s.record_lookup(look(success=False, source=None))
+        assert s.global_cache_hit_ratio() == 0.5
+        assert s.lookup_success_ratio() == pytest.approx(2 / 3)
+
+    def test_mean_hops_over_successes(self):
+        s = PastStats()
+        s.record_lookup(look(hops=1))
+        s.record_lookup(look(hops=3))
+        s.record_lookup(look(hops=99, success=False))
+        assert s.mean_lookup_hops() == 2.0
+
+    def test_empty_lookup_stats(self):
+        s = PastStats()
+        assert s.global_cache_hit_ratio() == 0.0
+        assert s.mean_lookup_hops() == 0.0
+        assert s.lookup_success_ratio() == 0.0
+
+    def test_caching_curve_buckets(self):
+        s = PastStats()
+        s.record_lookup(look(source="cache", hops=0, util=0.12))
+        s.record_lookup(look(source="primary", hops=2, util=0.13))
+        s.record_lookup(look(source="cache", hops=1, util=0.47))
+        curve = s.caching_curve(bucket_width=0.05)
+        assert len(curve) == 2
+        mid0, hit0, hops0, count0 = curve[0]
+        assert count0 == 2
+        assert hit0 == 0.5
+        assert hops0 == 1.0

@@ -1,0 +1,108 @@
+"""Field-axiom and matrix tests for GF(256) arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.erasure import GF256
+
+elems = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxioms:
+    @given(elems, elems)
+    def test_add_commutes_and_is_xor(self, a, b):
+        assert GF256.add(a, b) == (a ^ b) == GF256.add(b, a)
+
+    @given(elems)
+    def test_add_self_inverse(self, a):
+        assert GF256.add(a, a) == 0
+
+    @given(elems, elems)
+    def test_mul_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(elems, elems, elems)
+    def test_mul_associative(self, a, b, c):
+        assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    @given(elems, elems, elems)
+    def test_distributive(self, a, b, c):
+        assert GF256.mul(a, GF256.add(b, c)) == GF256.add(
+            GF256.mul(a, b), GF256.mul(a, c)
+        )
+
+    @given(elems)
+    def test_multiplicative_identity(self, a):
+        assert GF256.mul(a, 1) == a
+
+    @given(elems)
+    def test_mul_by_zero(self, a):
+        assert GF256.mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert GF256.mul(a, GF256.inv(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert GF256.div(a, b) == GF256.mul(a, GF256.inv(b))
+
+    def test_zero_division(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            GF256.inv(0)
+
+    @given(nonzero, st.integers(0, 600))
+    def test_pow_matches_repeated_mul(self, a, n):
+        expected = 1
+        for _ in range(n % 255):
+            expected = GF256.mul(expected, a)
+        # a^n = a^(n mod 255) for nonzero a (multiplicative group order 255)
+        assert GF256.pow(a, n % 255) == expected
+
+    @given(elems)
+    def test_closure(self, a):
+        assert 0 <= GF256.mul(a, 0x53) < 256
+
+
+class TestMatrices:
+    def test_identity_inverts_to_identity(self):
+        eye = [[int(i == j) for j in range(4)] for i in range(4)]
+        assert GF256.mat_invert(eye) == eye
+
+    @given(st.integers(0, 10_000))
+    def test_random_matrix_inverse_roundtrip(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = 4
+        m = [[rng.randrange(256) for _ in range(n)] for _ in range(n)]
+        try:
+            inv = GF256.mat_invert([row[:] for row in m])
+        except ValueError:
+            return  # singular, acceptable
+        eye = GF256.mat_mul(m, inv)
+        assert eye == [[int(i == j) for j in range(n)] for i in range(n)]
+
+    def test_singular_matrix_raises(self):
+        m = [[1, 2], [1, 2]]
+        with pytest.raises(ValueError):
+            GF256.mat_invert(m)
+
+    def test_mat_vec(self):
+        m = [[1, 0], [0, 1]]
+        assert GF256.mat_vec(m, [7, 9]) == [7, 9]
+
+    def test_vandermonde_shape_and_values(self):
+        v = GF256.vandermonde(4, 3)
+        assert len(v) == 4 and all(len(r) == 3 for r in v)
+        assert v[0] == [1, 0, 0]  # 0^0 = 1, 0^1 = 0, ...
+        assert v[1] == [1, 1, 1]
+        assert v[2][1] == 2
+
+    def test_vandermonde_top_square_invertible(self):
+        for n in (2, 4, 8):
+            v = GF256.vandermonde(n, n)
+            GF256.mat_invert(v)  # must not raise

@@ -1,0 +1,118 @@
+"""Tests for the systematic Reed-Solomon code and file striping (§3.6)."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.erasure import FileStripe, ReedSolomonCode, decode_file, encode_file, storage_overhead
+
+
+class TestCodeConstruction:
+    def test_systematic_prefix(self):
+        """The first n_data shards are the data itself."""
+        code = ReedSolomonCode(4, 2)
+        data = [bytes([i] * 8) for i in range(4)]
+        shards = code.encode(data)
+        assert shards[:4] == data
+        assert len(shards) == 6
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(0, 2)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(200, 100)  # > 256 total
+
+    def test_zero_parity_identity(self):
+        code = ReedSolomonCode(3, 0)
+        data = [b"ab", b"cd", b"ef"]
+        assert code.encode(data) == data
+
+    def test_shard_length_mismatch_rejected(self):
+        code = ReedSolomonCode(2, 1)
+        with pytest.raises(ValueError):
+            code.encode([b"abc", b"de"])
+
+    def test_wrong_shard_count_rejected(self):
+        code = ReedSolomonCode(2, 1)
+        with pytest.raises(ValueError):
+            code.encode([b"ab"])
+
+    def test_overhead_formula(self):
+        assert ReedSolomonCode(8, 4).overhead() == pytest.approx(1.5)
+
+
+class TestDecoding:
+    def test_decode_from_data_shards_only(self):
+        code = ReedSolomonCode(3, 2)
+        data = [os.urandom(16) for _ in range(3)]
+        shards = code.encode(data)
+        assert code.decode({0: shards[0], 1: shards[1], 2: shards[2]}) == data
+
+    def test_decode_from_parity_only_combinations(self):
+        code = ReedSolomonCode(2, 3)
+        data = [os.urandom(8), os.urandom(8)]
+        shards = code.encode(data)
+        assert code.decode({2: shards[2], 3: shards[3]}) == data
+        assert code.decode({3: shards[3], 4: shards[4]}) == data
+
+    def test_too_few_shards_raises(self):
+        code = ReedSolomonCode(3, 2)
+        shards = code.encode([b"aa", b"bb", b"cc"])
+        with pytest.raises(ValueError):
+            code.decode({0: shards[0], 4: shards[4]})
+
+    def test_unequal_survivor_lengths_rejected(self):
+        code = ReedSolomonCode(2, 1)
+        with pytest.raises(ValueError):
+            code.decode({0: b"ab", 1: b"c"})
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.binary(min_size=1, max_size=400),
+        n_data=st.integers(2, 8),
+        n_parity=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_roundtrip_any_loss_pattern(self, data, n_data, n_parity, seed):
+        import random
+
+        stripe = encode_file(data, n_data, n_parity)
+        rng = random.Random(seed)
+        lose = set(rng.sample(range(n_data + n_parity), n_parity))
+        surviving = {
+            i: s for i, s in enumerate(stripe.shards) if i not in lose
+        }
+        assert decode_file(stripe, surviving) == data
+
+
+class TestStriping:
+    def test_padding_removed_on_decode(self):
+        data = b"x" * 10  # not divisible by 4
+        stripe = encode_file(data, 4, 2)
+        surviving = dict(enumerate(stripe.shards))
+        assert decode_file(stripe, surviving) == data
+
+    def test_shard_sizes_equal(self):
+        stripe = encode_file(os.urandom(1000), 7, 3)
+        sizes = {len(s) for s in stripe.shards}
+        assert len(sizes) == 1
+
+    def test_stored_bytes_matches_overhead(self):
+        data = os.urandom(4000)
+        stripe = encode_file(data, 8, 4)
+        assert stripe.stored_bytes() == pytest.approx(len(data) * 1.5, rel=0.01)
+
+    def test_invalid_n_data(self):
+        with pytest.raises(ValueError):
+            encode_file(b"abc", 0, 1)
+
+    def test_empty_file(self):
+        stripe = encode_file(b"", 3, 2)
+        assert decode_file(stripe, dict(enumerate(stripe.shards))) == b""
+
+    def test_overhead_comparison_favors_rs(self):
+        cmp = storage_overhead(k_replicas=5, n_data=8, n_parity=4)
+        assert cmp["rs_tolerates"] == cmp["replication_tolerates"] == 4
+        assert cmp["rs_overhead"] < cmp["replication_overhead"]
+        assert cmp["savings_factor"] == pytest.approx(5 / 1.5)

@@ -1,0 +1,66 @@
+"""Tests for the availability/churn experiment drivers."""
+
+import pytest
+
+from repro.experiments import churn
+
+
+class TestAvailabilitySweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return churn.run_availability_sweep(
+            k_values=[1, 3], fail_fractions=[0.1, 0.25],
+            n_nodes=40, capacity_scale=0.25, n_files=200, seed=7,
+        )
+
+    def test_cells_present(self, sweep):
+        cells = {(r.k, r.fail_fraction) for r in sweep}
+        assert cells == {(1, 0.1), (1, 0.25), (3, 0.1), (3, 0.25)}
+
+    def test_higher_k_more_available(self, sweep):
+        by = {(r.k, r.fail_fraction): r for r in sweep}
+        for f in (0.1, 0.25):
+            assert by[(3, f)].availability >= by[(1, f)].availability
+
+    def test_k1_loses_files_at_heavy_failures(self, sweep):
+        by = {(r.k, r.fail_fraction): r for r in sweep}
+        assert by[(1, 0.25)].availability < 1.0
+
+    def test_repair_never_hurts(self, sweep):
+        for r in sweep:
+            assert r.availability_after_repair >= r.availability - 1e-9
+
+
+class TestChurnExperiment:
+    def test_invariants_hold_and_files_survive(self):
+        result = churn.run_churn_experiment(
+            n_nodes=40, capacity_scale=0.25, n_files=120, rounds=20, k=3, seed=8
+        )
+        assert result.audits_passed == result.audits_total
+        assert result.lost_files <= 1
+        assert result.timeline
+        assert all(t["audit_ok"] for t in result.timeline)
+
+
+class TestSimultaneousFailures:
+    def test_maintenance_suspended_then_repaired(self):
+        from repro import audit
+        from tests.conftest import build_past, fill_network
+        import random
+
+        net = build_past(n=30, capacity=2_000_000, k=3, seed=9)
+        rng = random.Random(9)
+        fill_network(net, rng, target_util=0.4, max_size=100_000)
+        victims = list(net.pastry.node_ids)[:3]
+        net.fail_simultaneously(victims)
+        assert net.maintenance_enabled  # restored afterwards
+        net.repair_all()
+        assert audit(net).ok
+
+    def test_flag_restored_on_error(self):
+        from tests.conftest import build_past
+
+        net = build_past(n=10, capacity=1_000_000, k=2, seed=10)
+        with pytest.raises(KeyError):
+            net.fail_simultaneously([123456789])
+        assert net.maintenance_enabled

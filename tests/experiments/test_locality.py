@@ -1,0 +1,39 @@
+"""Tests for the replica-locality and route-stretch drivers."""
+
+import pytest
+
+from repro.experiments import locality
+
+
+class TestReplicaLocality:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return locality.run_replica_locality(
+            n_nodes=120, k=3, n_files=60, capacity_scale=1.0, seed=2
+        )
+
+    def test_counts_consistent(self, result):
+        assert sum(result.nearest_rank_counts) == result.lookups
+        assert len(result.nearest_rank_counts) == 3
+
+    def test_rank_share_monotone(self, result):
+        assert 0 <= result.rank_share(0) <= result.rank_share(1) <= result.rank_share(2)
+        assert result.rank_share(2) == pytest.approx(1.0)
+
+    def test_beats_uniform_baseline(self, result):
+        assert result.rank_share(0) > result.random_baseline
+
+    def test_baseline_is_one_over_k(self, result):
+        assert result.random_baseline == pytest.approx(1 / 3)
+
+    def test_empty_rank_share(self):
+        empty = locality.LocalityResult(3, 0, [0, 0, 0], 1.0, 1 / 3, 0.0)
+        assert empty.rank_share(0) == 0.0
+
+
+class TestRouteStretch:
+    def test_stretch_reasonable(self):
+        result = locality.run_route_stretch(n_nodes=120, queries=200, seed=3)
+        assert 1.0 <= result.mean_stretch < 4.0
+        assert result.mean_hops > 0
+        assert result.queries == 200

@@ -1,0 +1,72 @@
+"""Tests for the malicious-routing security experiment."""
+
+import pytest
+
+from repro.experiments import security
+from tests.conftest import build_past, build_pastry
+
+
+class TestMaliciousRouting:
+    def test_honest_network_unaffected(self):
+        results = security.run_malicious_routing(
+            malicious_fractions=[0.0], n_nodes=60, n_files=20, seed=1
+        )
+        for r in results:
+            assert r.success_ratio == 1.0
+
+    def test_sweep_structure(self):
+        results = security.run_malicious_routing(
+            malicious_fractions=[0.1], n_nodes=60, n_files=20, seed=2
+        )
+        assert {r.randomized for r in results} == {False, True}
+        assert all(r.lookups > 0 for r in results)
+
+    def test_attack_reduces_success(self):
+        results = security.run_malicious_routing(
+            malicious_fractions=[0.3], n_nodes=80, n_files=30,
+            retries=0, seed=3,
+        )
+        assert any(r.success_ratio < 1.0 for r in results)
+
+
+class TestDroppedRoutes:
+    def test_malicious_node_drops_transiting_message(self):
+        net = build_pastry(60, l=8, seed=90)
+        import random
+
+        rng = random.Random(90)
+        # Find a route with an intermediate hop; corrupt that hop.
+        for _ in range(200):
+            key = rng.getrandbits(128)
+            origin = net.random_node(rng).node_id
+            result = net.route(origin, key)
+            if result.hops >= 2:
+                bad = result.path[1]
+                net.malicious = {bad}
+                retried = net.route(origin, key)
+                assert retried.dropped
+                assert retried.terminus is None
+                net.malicious = set()
+                return
+        pytest.skip("no multi-hop route found at this scale")
+
+    def test_origin_never_drops_its_own_request(self):
+        net = build_pastry(30, l=8, seed=91)
+        origin = net.nodes()[0]
+        net.malicious = {origin.node_id}
+        result = net.route(origin.node_id, 12345)
+        assert not result.dropped
+
+    def test_lookup_retries_against_malicious(self):
+        net = build_past(n=50, capacity=3_000_000, k=3, seed=92,
+                         randomize_routing=True)
+        owner = net.create_client("o")
+        res = net.insert("target", owner, 10_000, net.nodes()[0].node_id)
+        # Corrupt a third of the network (not the origin).
+        ids = net.pastry.node_ids
+        origin = net.nodes()[-1].node_id
+        net.pastry.malicious = {i for i in ids[: len(ids) // 3] if i != origin}
+        successes = sum(
+            net.lookup(res.file_id, origin, retries=8).success for _ in range(10)
+        )
+        assert successes >= 8  # retries route around the bad nodes

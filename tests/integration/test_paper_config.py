@@ -1,0 +1,80 @@
+"""End-to-end runs under the exact §5 configuration (b=4, l=32, k=5)."""
+
+import random
+
+import pytest
+
+from repro import PAPER_CONFIG, PastNetwork, audit
+from repro.workloads import D1, WebProxyWorkload
+
+
+@pytest.fixture(scope="module")
+def paper_net():
+    net = PastNetwork(PAPER_CONFIG.with_overrides(seed=210))
+    rng = random.Random(210)
+    net.build(D1.sample(64, rng, scale=0.1))
+    return net
+
+
+class TestPaperConfiguration:
+    def test_k5_replication(self, paper_net):
+        owner = paper_net.create_client("p")
+        res = paper_net.insert("five", owner, 10_000, paper_net.nodes()[0].node_id)
+        assert res.success
+        assert len(res.receipts) == 5
+
+    def test_leafset_32_everywhere(self, paper_net):
+        for node in paper_net.nodes():
+            assert node.leafset.l == 32
+
+    def test_trace_to_high_utilization(self, paper_net):
+        rng = random.Random(211)
+        workload = WebProxyWorkload(
+            total_content_bytes=int(paper_net.total_capacity * 1.5 / 5),
+            max_bytes=int(138_000_000 * 0.1),
+            seed=211,
+        )
+        owner = paper_net.create_client("trace")
+        node_ids = [n.node_id for n in paper_net.nodes()]
+        for event in workload.storage_trace():
+            paper_net.insert(
+                event.name, owner, event.size,
+                node_ids[rng.randrange(len(node_ids))],
+            )
+        assert paper_net.utilization() > 0.75
+        assert paper_net.stats.success_ratio() > 0.85
+        report = audit(paper_net)
+        assert report.ok, report.violations[:3]
+
+    def test_survives_quintuple_failure(self, paper_net):
+        """k=5 means even 4 simultaneous holder failures keep a file alive."""
+        from repro.pastry import idspace
+
+        owner = paper_net.create_client("resilient")
+        res = paper_net.insert("tough", owner, 8_000, paper_net.nodes()[0].node_id)
+        key = idspace.routing_key(res.file_id)
+        holders = [
+            m for m in paper_net.pastry.k_closest_live(key, 5)
+            if paper_net.past_node(m).store.holds_file(res.file_id)
+        ]
+        paper_net.fail_simultaneously(holders[:4])
+        lookup = paper_net.lookup(res.file_id, paper_net.nodes()[0].node_id)
+        assert lookup.success
+        paper_net.repair_all()
+        for victim in holders[:4]:
+            paper_net.recover_node(victim)
+        assert audit(paper_net).ok
+
+
+class TestCachingDeterminism:
+    def test_same_seed_same_caching_outcome(self):
+        from repro.experiments import caching
+
+        cfg = caching.CachingRunConfig(
+            n_nodes=25, capacity_scale=0.05, n_files=150, seed=212
+        )
+        a = caching.run_caching_trace(cfg)
+        b = caching.run_caching_trace(cfg)
+        assert a.hit_ratio == b.hit_ratio
+        assert a.mean_hops == b.mean_hops
+        assert a.utilization == b.utilization

@@ -1,0 +1,172 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.netsim.eventsim import EventSimulator, PeriodicTimer
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = EventSimulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = EventSimulator()
+        order = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_schedule_at_absolute(self):
+        sim = EventSimulator(start_time=10.0)
+        seen = []
+        sim.schedule_at(12.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.0]
+
+    def test_cannot_schedule_past(self):
+        sim = EventSimulator(start_time=5.0)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        sim = EventSimulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "nested"]
+        assert sim.now == 2.0
+
+    def test_cancel(self):
+        sim = EventSimulator()
+        ran = []
+        handle = sim.schedule(1.0, lambda: ran.append(1))
+        sim.cancel(handle)
+        sim.run()
+        assert ran == []
+
+    def test_run_until_partial(self):
+        sim = EventSimulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(5.0, lambda: order.append("b"))
+        sim.run_until(3.0)
+        assert order == ["a"]
+        assert sim.now == 3.0
+        assert sim.pending() == 1
+
+    def test_runaway_guard(self):
+        sim = EventSimulator()
+
+        def rearm():
+            sim.schedule(0.001, rearm)
+
+        sim.schedule(0.001, rearm)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+
+class TestPeriodicTimer:
+    def test_fires_at_period(self):
+        sim = EventSimulator()
+        ticks = []
+        sim.every(2.0, lambda: ticks.append(sim.now))
+        sim.run_until(7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_stop(self):
+        sim = EventSimulator()
+        ticks = []
+        timer = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run_until(2.5)
+        timer.stop()
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_stop_from_callback(self):
+        sim = EventSimulator()
+        calls = []
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        timer.callback = lambda: (calls.append(sim.now), timer.stop())
+        timer.start()
+        sim.run_until(10.0)
+        assert calls == [1.0]
+
+    def test_jitter(self):
+        sim = EventSimulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), jitter_fn=lambda: 0.5)
+        sim.run_until(4.0)
+        assert ticks == [1.5, 3.0]
+
+    def test_rejects_nonpositive_period(self):
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+
+
+class TestRecoveryExperiment:
+    def test_detection_delay_costs_availability(self):
+        from repro.experiments.recovery import run_recovery_window
+
+        results = run_recovery_window(
+            n_nodes=40, n_files=150, k=3, crash_fraction=0.5,
+            detection_delays=[0.0, 20.0], seed=5,
+        )
+        by_delay = {r.detection_delay: r for r in results}
+        assert by_delay[0.0].availability >= by_delay[20.0].availability
+        assert by_delay[0.0].availability == pytest.approx(1.0)
+        assert by_delay[20.0].availability < 1.0
+
+    def test_no_disk_loss_means_no_loss(self):
+        from repro.experiments.recovery import run_recovery_window
+
+        results = run_recovery_window(
+            n_nodes=30, n_files=80, k=3, crash_fraction=0.5,
+            detection_delays=[20.0], disk_loss=False, seed=6,
+        )
+        assert results[0].availability == pytest.approx(1.0)
+
+
+class TestKeepAliveRecovery:
+    def test_protocol_driven_recovery_restores_files(self):
+        from repro.experiments.recovery import run_keepalive_recovery
+
+        result = run_keepalive_recovery(
+            n_nodes=35, n_files=100, crash_fraction=0.25, seed=4
+        )
+        # Fast detection (T ~= 4 x interarrival/2): everything survives.
+        assert result.availability > 0.97
+        assert result.crashes >= 1
+
+    def test_slow_detection_risks_losses(self):
+        from repro.experiments.recovery import run_keepalive_recovery
+
+        result = run_keepalive_recovery(
+            n_nodes=35, n_files=150, crash_fraction=0.6,
+            keepalive_timeout=60.0, mean_interarrival=0.3, seed=4,
+        )
+        # With 60% of nodes silent before any keep-alive expires, some
+        # files must lose all replicas.
+        assert result.availability < 1.0

@@ -1,0 +1,70 @@
+"""Tests for the latency model."""
+
+import pytest
+
+from repro.netsim import LatencyModel, PAPER_PER_HOP_MS, percentiles
+
+
+class TestLatencyModel:
+    def test_paper_anchor(self):
+        """One hop, negligible distance, 1 kB ~= the paper's 25 ms."""
+        model = LatencyModel(ms_per_unit=0.0, bandwidth_bytes_per_ms=0.0)
+        assert model.lookup_latency_ms(1, 0.0, 1024) == PAPER_PER_HOP_MS
+
+    def test_zero_hop_local_hit(self):
+        model = LatencyModel()
+        assert model.lookup_latency_ms(0, 0.0, 0) == 0.0
+
+    def test_components_additive(self):
+        model = LatencyModel(per_hop_ms=10.0, ms_per_unit=100.0,
+                             bandwidth_bytes_per_ms=1000.0)
+        latency = model.lookup_latency_ms(2, 0.5, 3_000)
+        assert latency == pytest.approx(20.0 + 50.0 + 3.0)
+
+    def test_rejects_negative(self):
+        model = LatencyModel()
+        with pytest.raises(ValueError):
+            model.lookup_latency_ms(-1, 0, 0)
+        with pytest.raises(ValueError):
+            model.lookup_latency_ms(0, -0.1, 0)
+
+    def test_monotone_in_every_argument(self):
+        model = LatencyModel()
+        base = model.lookup_latency_ms(1, 0.2, 1000)
+        assert model.lookup_latency_ms(2, 0.2, 1000) > base
+        assert model.lookup_latency_ms(1, 0.4, 1000) > base
+        assert model.lookup_latency_ms(1, 0.2, 5000) > base
+
+
+class TestPercentiles:
+    def test_empty(self):
+        assert percentiles([]) == {50: 0.0, 90: 0.0, 99: 0.0}
+
+    def test_single_sample(self):
+        assert percentiles([7.0]) == {50: 7.0, 90: 7.0, 99: 7.0}
+
+    def test_ordering(self):
+        p = percentiles(list(range(101)))
+        assert p[50] == 50
+        assert p[90] == 90
+        assert p[99] == 99
+
+    def test_unsorted_input(self):
+        p = percentiles([5, 1, 9, 3, 7])
+        assert p[50] == 5
+
+
+class TestLookupDistanceTracking:
+    def test_lookup_reports_route_distance(self):
+        from tests.conftest import build_past
+
+        net = build_past(n=25, capacity=3_000_000, k=3, seed=170)
+        owner = net.create_client("o")
+        res = net.insert("f", owner, 5_000, net.nodes()[0].node_id)
+        lookup = net.lookup(res.file_id, net.nodes()[-1].node_id)
+        assert lookup.success
+        assert lookup.distance >= 0.0
+        if lookup.hops > 0:
+            assert lookup.distance > 0.0
+        event = net.stats.lookups[-1]
+        assert event.distance == lookup.distance

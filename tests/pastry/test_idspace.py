@@ -1,0 +1,187 @@
+"""Unit and property tests for identifier-space arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pastry import idspace
+
+ids = st.integers(min_value=0, max_value=idspace.ID_SPACE - 1)
+bs = st.sampled_from([1, 2, 4, 8])
+
+
+class TestDigits:
+    def test_num_digits_typical(self):
+        assert idspace.num_digits(4) == 32
+        assert idspace.num_digits(2) == 64
+        assert idspace.num_digits(1) == 128
+
+    def test_num_digits_rejects_non_divisor(self):
+        with pytest.raises(ValueError):
+            idspace.num_digits(3)
+
+    def test_num_digits_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            idspace.num_digits(0)
+
+    def test_digit_msb_first(self):
+        ident = 0xA << 124  # single hex digit at the very top
+        assert idspace.digit(ident, 0, 4) == 0xA
+        assert idspace.digit(ident, 1, 4) == 0
+
+    def test_digit_lsb(self):
+        assert idspace.digit(0x7, 31, 4) == 0x7
+
+    def test_digit_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            idspace.digit(0, 32, 4)
+
+    @given(ids, bs)
+    def test_digits_reassemble(self, ident, b):
+        ds = idspace.digits(ident, b)
+        value = 0
+        for d in ds:
+            value = (value << b) | d
+        assert value == ident
+
+    @given(ids, bs)
+    def test_digits_match_digit(self, ident, b):
+        ds = idspace.digits(ident, b)
+        for i in (0, len(ds) // 2, len(ds) - 1):
+            assert ds[i] == idspace.digit(ident, i, b)
+
+
+class TestSharedPrefix:
+    def test_identical(self):
+        assert idspace.shared_prefix_length(5, 5, 4) == 32
+
+    def test_differ_at_top(self):
+        a = 0x1 << 127
+        assert idspace.shared_prefix_length(a, 0, 4) == 0
+
+    def test_differ_at_bottom(self):
+        assert idspace.shared_prefix_length(0, 1, 4) == 31
+
+    @given(ids, ids, bs)
+    def test_symmetry(self, a, x, b):
+        assert idspace.shared_prefix_length(a, x, b) == idspace.shared_prefix_length(x, a, b)
+
+    @given(ids, ids, bs)
+    def test_prefix_digits_actually_match(self, a, x, b):
+        p = idspace.shared_prefix_length(a, x, b)
+        da, dx = idspace.digits(a, b), idspace.digits(x, b)
+        assert da[:p] == dx[:p]
+        if p < idspace.num_digits(b):
+            assert da[p] != dx[p]
+
+
+class TestRingDistance:
+    def test_zero(self):
+        assert idspace.ring_distance(42, 42) == 0
+
+    def test_wraps(self):
+        assert idspace.ring_distance(0, idspace.ID_SPACE - 1) == 1
+
+    def test_antipode(self):
+        half = idspace.ID_SPACE // 2
+        assert idspace.ring_distance(0, half) == half
+
+    @given(ids, ids)
+    def test_symmetric(self, a, x):
+        assert idspace.ring_distance(a, x) == idspace.ring_distance(x, a)
+
+    @given(ids, ids)
+    def test_bounded_by_half_space(self, a, x):
+        assert 0 <= idspace.ring_distance(a, x) <= idspace.ID_SPACE // 2
+
+    @given(ids, ids)
+    def test_cw_plus_ccw_is_full_circle(self, a, x):
+        if a != x:
+            assert (
+                idspace.clockwise_distance(a, x)
+                + idspace.counterclockwise_distance(a, x)
+                == idspace.ID_SPACE
+            )
+
+    @given(ids, ids)
+    def test_ring_is_min_of_directed(self, a, x):
+        assert idspace.ring_distance(a, x) == min(
+            idspace.clockwise_distance(a, x), idspace.counterclockwise_distance(a, x)
+        )
+
+
+class TestCloseness:
+    @given(ids, ids, ids)
+    def test_strictly_closer_is_total_strict_order(self, a, b, target):
+        if a == b:
+            assert not idspace.is_strictly_closer(a, b, target)
+        else:
+            assert idspace.is_strictly_closer(a, b, target) != idspace.is_strictly_closer(
+                b, a, target
+            )
+
+    def test_tie_broken_towards_lower_id(self):
+        # 10 and 20 are equidistant from 15.
+        assert idspace.is_strictly_closer(10, 20, 15)
+        assert not idspace.is_strictly_closer(20, 10, 15)
+
+    @given(st.lists(ids, min_size=1, max_size=20), ids)
+    def test_closest_of_is_minimal(self, pool, target):
+        best = idspace.closest_of(pool, target)
+        for other in pool:
+            assert not idspace.is_strictly_closer(other, best, target)
+
+    def test_closest_of_empty(self):
+        assert idspace.closest_of([], 7) is None
+
+    @given(st.lists(ids, min_size=1, max_size=20, unique=True), ids)
+    def test_sort_by_distance_sorted(self, pool, target):
+        ordered = idspace.sort_by_distance(pool, target)
+        assert set(ordered) == set(pool)
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert idspace.is_strictly_closer(earlier, later, target)
+
+
+class TestFileIds:
+    def test_node_id_width(self):
+        nid = idspace.node_id_from_public_key(b"some-key")
+        assert 0 <= nid < idspace.ID_SPACE
+
+    def test_node_id_deterministic(self):
+        assert idspace.node_id_from_public_key(b"k") == idspace.node_id_from_public_key(b"k")
+
+    def test_file_id_width(self):
+        fid = idspace.file_id("a.txt", b"owner", 1)
+        assert 0 <= fid < idspace.FILE_ID_SPACE
+
+    def test_file_id_salt_changes_id(self):
+        a = idspace.file_id("a.txt", b"owner", 1)
+        b = idspace.file_id("a.txt", b"owner", 2)
+        assert a != b
+
+    def test_file_id_owner_changes_id(self):
+        a = idspace.file_id("a.txt", b"owner1", 1)
+        b = idspace.file_id("a.txt", b"owner2", 1)
+        assert a != b
+
+    def test_routing_key_is_msbs(self):
+        fid = idspace.file_id("x", b"o", 0)
+        assert idspace.routing_key(fid) == fid >> 32
+        assert 0 <= idspace.routing_key(fid) < idspace.ID_SPACE
+
+    def test_routing_key_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            idspace.routing_key(-1)
+        with pytest.raises(ValueError):
+            idspace.routing_key(idspace.FILE_ID_SPACE)
+
+
+class TestFormat:
+    def test_base16_format(self):
+        assert idspace.format_id(0, 4) == "0" * 32
+
+    def test_groups_limits_output(self):
+        assert len(idspace.format_id(0, 4, groups=8)) == 8
+
+    def test_base4(self):
+        s = idspace.format_id(idspace.ID_SPACE - 1, 2)
+        assert s == "3" * 64

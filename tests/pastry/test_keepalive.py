@@ -1,0 +1,124 @@
+"""Tests for the keep-alive failure-detection protocol."""
+
+import pytest
+
+from repro.netsim.eventsim import EventSimulator
+from repro.pastry.keepalive import KeepAliveMonitor
+from tests.conftest import build_pastry
+
+
+def make(n=30, interval=1.0, timeout=3.0, seed=80):
+    net = build_pastry(n, l=8, seed=seed)
+    sim = EventSimulator()
+    detected = []
+    monitor = KeepAliveMonitor(
+        sim, net, on_detect=detected.append, interval=interval, timeout=timeout
+    )
+    monitor.start()
+    return net, sim, monitor, detected
+
+
+class TestDetection:
+    def test_healthy_network_detects_nothing(self):
+        net, sim, monitor, detected = make()
+        sim.run_until(20.0)
+        assert detected == []
+        assert monitor.probes_sent > 0
+
+    def test_crash_detected_within_timeout_plus_interval(self):
+        net, sim, monitor, detected = make(interval=1.0, timeout=3.0)
+        sim.run_until(5.0)
+        victim = net.node_ids[4]
+        net.mark_failed(victim)
+        crash_time = sim.now
+        sim.run_until(crash_time + 3.0 + 1.0 + 1e-6)
+        assert detected == [victim]
+
+    def test_not_detected_before_timeout(self):
+        net, sim, monitor, detected = make(interval=1.0, timeout=5.0)
+        sim.run_until(2.0)
+        victim = net.node_ids[0]
+        net.mark_failed(victim)
+        sim.run_until(sim.now + 4.0)  # < timeout
+        assert detected == []
+
+    def test_detection_fires_exactly_once(self):
+        net, sim, monitor, detected = make()
+        victim = net.node_ids[7]
+        net.mark_failed(victim)
+        sim.run_until(30.0)
+        assert detected.count(victim) == 1
+
+    def test_multiple_crashes_all_detected(self):
+        net, sim, monitor, detected = make(n=40)
+        victims = [net.node_ids[i] for i in (3, 11, 25)]
+        for v in victims:
+            net.mark_failed(v)
+        sim.run_until(20.0)
+        assert set(detected) == set(victims)
+
+    def test_crashed_observer_stops_probing(self):
+        net, sim, monitor, detected = make()
+        victim = net.node_ids[2]
+        net.mark_failed(victim)
+        sim.run_until(10.0)
+        assert victim not in monitor._timers
+
+    def test_forget_allows_redetection_after_recovery(self):
+        net, sim, monitor, detected = make()
+        victim = net.node_ids[5]
+        net.mark_failed(victim)
+        sim.run_until(10.0)
+        assert detected == [victim]
+        net.recover_node(victim)
+        monitor.forget(victim)
+        monitor.watch(victim)
+        sim.run_until(20.0)
+        assert detected == [victim]  # healthy again: no false positive
+        net.mark_failed(victim)
+        sim.run_until(30.0)
+        assert detected == [victim, victim]
+
+    def test_invalid_parameters(self):
+        net, sim, _, _ = make()
+        with pytest.raises(ValueError):
+            KeepAliveMonitor(sim, net, lambda n: None, interval=0.0)
+        with pytest.raises(ValueError):
+            KeepAliveMonitor(sim, net, lambda n: None, timeout=-1.0)
+
+
+class TestEndToEndWithPast:
+    def test_keepalive_drives_past_recovery(self):
+        """Full loop: crash -> keep-alive expiry -> PAST re-replication."""
+        import random
+
+        from repro import PastConfig, PastNetwork, audit
+
+        net = PastNetwork(PastConfig(l=8, k=3, seed=81, cache_policy="none"))
+        net.build([2_000_000] * 25)
+        owner = net.create_client("o")
+        rng = random.Random(81)
+        fids = []
+        for i in range(40):
+            res = net.insert(f"ka{i}", owner, 20_000,
+                             net.nodes()[rng.randrange(len(net))].node_id)
+            fids.append(res.file_id)
+
+        sim = EventSimulator()
+        monitor = KeepAliveMonitor(
+            sim, net.pastry,
+            on_detect=net.process_failure_detection,
+            interval=1.0, timeout=3.0,
+        )
+        monitor.start()
+        victim = net.pastry.node_ids[6]
+        sim.schedule(2.0, lambda: (net.crash_node(victim),
+                                   net.wipe_failed_disk(victim)))
+        sim.run_until(10.0)
+        monitor.stop()
+        # Detection happened and maintenance restored every file.
+        assert victim in monitor.detected
+        report = audit(net)
+        assert report.ok, report.violations[:3]
+        probe = net.nodes()[0].node_id
+        assert all(net.lookup(fid, probe).success for fid in fids)

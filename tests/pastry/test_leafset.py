@@ -1,0 +1,189 @@
+"""Unit and property tests for Pastry leaf sets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pastry import idspace
+from repro.pastry.leafset import LeafSet
+
+ids = st.integers(min_value=0, max_value=idspace.ID_SPACE - 1)
+
+
+def make(owner=1000, l=8):
+    return LeafSet(owner, l)
+
+
+class TestConstruction:
+    def test_rejects_odd_l(self):
+        with pytest.raises(ValueError):
+            LeafSet(0, 7)
+
+    def test_rejects_tiny_l(self):
+        with pytest.raises(ValueError):
+            LeafSet(0, 0)
+
+    def test_empty_initially(self):
+        ls = make()
+        assert len(ls) == 0
+        assert ls.smaller == [] and ls.larger == []
+
+
+class TestMembership:
+    def test_add_ignores_self(self):
+        ls = make(owner=5)
+        ls.add(5)
+        assert len(ls) == 0
+
+    def test_add_and_contains(self):
+        ls = make()
+        ls.add(2000)
+        assert 2000 in ls
+
+    def test_remove(self):
+        ls = make()
+        ls.add(2000)
+        assert ls.remove(2000)
+        assert 2000 not in ls
+
+    def test_remove_absent_returns_false(self):
+        assert not make().remove(77)
+
+    def test_sides_sorted_nearest_first(self):
+        ls = make(owner=1000, l=4)
+        ls.add_all([900, 800, 1100, 1200])
+        assert ls.smaller == [900, 800]
+        assert ls.larger == [1100, 1200]
+
+    def test_trims_to_l_over_2_per_side(self):
+        ls = make(owner=1000, l=4)
+        ls.add_all([1100, 1200, 1300, 1400])
+        assert ls.larger == [1100, 1200]
+        assert 1300 not in ls
+
+    def test_wraps_around_namespace(self):
+        top = idspace.ID_SPACE - 5
+        ls = make(owner=top, l=4)
+        ls.add_all([3, idspace.ID_SPACE - 10])
+        assert 3 in ls.larger  # 3 is clockwise-adjacent across the wrap
+
+    def test_is_full(self):
+        ls = make(owner=1000, l=4)
+        assert not ls.is_full()
+        ls.add_all([900, 800, 1100, 1200])
+        assert ls.is_full()
+
+
+class TestCoverage:
+    def test_not_full_covers_everything(self):
+        ls = make(owner=1000, l=8)
+        ls.add(2000)
+        assert ls.covers(0) and ls.covers(idspace.ID_SPACE - 1)
+
+    def test_full_covers_span_only(self):
+        ls = make(owner=1000, l=4)
+        ls.add_all([900, 800, 1100, 1200])
+        assert ls.covers(1000) and ls.covers(850) and ls.covers(1150)
+        assert not ls.covers(5000)
+        assert not ls.covers(500)
+
+    def test_extremes(self):
+        ls = make(owner=1000, l=4)
+        ls.add_all([900, 800, 1100, 1200])
+        assert ls.extremes() == (800, 1200)
+
+    def test_extremes_partial(self):
+        ls = make(owner=1000, l=4)
+        ls.add(1100)
+        assert ls.extremes() == (None, 1100)
+
+
+class TestClosest:
+    def test_closest_to_includes_self(self):
+        ls = make(owner=1000, l=4)
+        ls.add_all([900, 1100])
+        assert ls.closest_to(1001) == 1000
+
+    def test_closest_to_excluding_self(self):
+        ls = make(owner=1000, l=4)
+        ls.add_all([900, 1100])
+        assert ls.closest_to(1001, include_self=False) == 1100
+
+    def test_closest_nodes_ordering(self):
+        ls = make(owner=1000, l=8)
+        ls.add_all([990, 1010, 950, 1050])
+        assert ls.closest_nodes(1000, 3) == [1000, 990, 1010]
+
+    def test_closest_nodes_k_larger_than_members(self):
+        ls = make(owner=1000, l=8)
+        ls.add(1010)
+        assert len(ls.closest_nodes(1000, 5)) == 2
+
+
+@given(
+    owner=ids,
+    members=st.lists(ids, min_size=0, max_size=30, unique=True),
+    key=ids,
+)
+def test_property_sides_hold_true_nearest(owner, members, key):
+    """Each side holds the l/2 nearest nodes that are nearer in its direction."""
+    l = 8
+    ls = LeafSet(owner, l)
+    ls.add_all(members)
+    others = [m for m in members if m != owner]
+    cw_side = [
+        m
+        for m in others
+        if idspace.clockwise_distance(owner, m) <= idspace.counterclockwise_distance(owner, m)
+    ]
+    ccw_side = [m for m in others if m not in cw_side]
+    expect_larger = sorted(cw_side, key=lambda i: idspace.clockwise_distance(owner, i))[: l // 2]
+    expect_smaller = sorted(
+        ccw_side, key=lambda i: idspace.counterclockwise_distance(owner, i)
+    )[: l // 2]
+    assert ls.larger == expect_larger
+    assert ls.smaller == expect_smaller
+
+
+@given(
+    owner=ids,
+    members=st.lists(ids, min_size=5, max_size=30, unique=True),
+    key=ids,
+)
+def test_property_closest_to_agrees_with_oracle(owner, members, key):
+    ls = LeafSet(owner, 8)
+    ls.add_all(members)
+    candidates = ls.members() | {owner}
+    assert ls.closest_to(key) == idspace.closest_of(candidates, key)
+
+
+@given(
+    owner=ids,
+    adds=st.lists(ids, min_size=1, max_size=40),
+    removes=st.data(),
+)
+def test_property_add_remove_interleaved_consistent(owner, adds, removes):
+    """After arbitrary add/remove churn the views stay consistent."""
+    ls = LeafSet(owner, 8)
+    alive = set()
+    for i, node in enumerate(adds):
+        ls.add(node)
+        if node != owner:
+            alive.add(node)
+        if i % 3 == 2 and alive:
+            victim = removes.draw(st.sampled_from(sorted(alive)))
+            ls.remove(victim)
+            alive.discard(victim)
+    # Every remaining member is one we added and never removed...
+    assert ls.members() <= alive
+    # ...and each side is sorted by directed distance.
+    larger = ls.larger
+    dists = [idspace.clockwise_distance(owner, m) for m in larger]
+    assert dists == sorted(dists)
+
+
+class TestStateRows:
+    def test_state_rows_shape(self):
+        ls = make(owner=1000, l=4)
+        ls.add_all([900, 1100])
+        rows = ls.state_rows()
+        assert rows == {"smaller": [900], "larger": [1100]}

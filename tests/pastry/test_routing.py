@@ -1,0 +1,119 @@
+"""Routing correctness and performance bounds for the Pastry overlay."""
+
+import math
+import random
+
+import pytest
+
+from repro.pastry import PastryNetwork, idspace
+from tests.conftest import build_pastry
+
+
+class TestDelivery:
+    def test_single_node_delivers_to_self(self):
+        net = PastryNetwork(seed=1)
+        node = net.create_first_node()
+        result = net.route(node.node_id, 12345)
+        assert result.terminus == node.node_id
+        assert result.hops == 0
+
+    def test_two_nodes(self):
+        net = PastryNetwork(seed=1)
+        a = net.join()
+        b = net.join()
+        for key in (0, idspace.ID_SPACE // 2, idspace.ID_SPACE - 1):
+            result = net.route(a.node_id, key)
+            assert result.terminus == net.numerically_closest_live(key)
+
+    def test_route_to_own_id_is_zero_hops(self, small_pastry):
+        node = small_pastry.nodes()[0]
+        result = small_pastry.route(node.node_id, node.node_id)
+        assert result.terminus == node.node_id
+        assert result.hops == 0
+
+    def test_routes_reach_numerically_closest(self, small_pastry):
+        rng = random.Random(2)
+        for _ in range(300):
+            key = rng.getrandbits(idspace.ID_BITS)
+            origin = small_pastry.random_node(rng).node_id
+            result = small_pastry.route(origin, key)
+            assert result.terminus == small_pastry.numerically_closest_live(key)
+
+    def test_wraparound_keys_route_correctly(self, small_pastry):
+        for key in (0, 1, idspace.ID_SPACE - 1, idspace.ID_SPACE // 2):
+            origin = small_pastry.nodes()[0].node_id
+            result = small_pastry.route(origin, key)
+            assert result.terminus == small_pastry.numerically_closest_live(key)
+
+    def test_route_from_unknown_origin_raises(self, small_pastry):
+        with pytest.raises(KeyError):
+            small_pastry.route(1 + max(small_pastry.node_ids), 5)
+
+
+class TestHopBounds:
+    def test_mean_hops_logarithmic(self):
+        net = build_pastry(220, b=4, l=16, seed=5)
+        rng = random.Random(6)
+        bound = math.ceil(math.log(len(net), 2**4))
+        hops = []
+        for _ in range(400):
+            key = rng.getrandbits(idspace.ID_BITS)
+            result = net.route(net.random_node(rng).node_id, key)
+            hops.append(result.hops)
+        assert sum(hops) / len(hops) <= bound
+        assert max(hops) <= bound + 2  # small slack for young routing tables
+
+    def test_path_has_no_repeats(self, small_pastry):
+        rng = random.Random(7)
+        for _ in range(200):
+            key = rng.getrandbits(idspace.ID_BITS)
+            result = small_pastry.route(small_pastry.random_node(rng).node_id, key)
+            assert len(result.path) == len(set(result.path))
+
+    def test_each_hop_makes_numerical_progress(self, small_pastry):
+        rng = random.Random(8)
+        for _ in range(200):
+            key = rng.getrandbits(idspace.ID_BITS)
+            result = small_pastry.route(small_pastry.random_node(rng).node_id, key)
+            dists = [idspace.ring_distance(n, key) for n in result.path]
+            assert dists == sorted(dists, reverse=True)
+            assert len(set(dists)) == len(dists) or dists[0] == dists[-1]
+
+
+class TestRandomizedRouting:
+    def test_randomized_routes_still_correct(self):
+        net = PastryNetwork(b=4, l=16, seed=9, randomize_routing=True)
+        net.build(60)
+        rng = random.Random(10)
+        for _ in range(200):
+            key = rng.getrandbits(idspace.ID_BITS)
+            result = net.route(net.random_node(rng).node_id, key)
+            assert result.terminus == net.numerically_closest_live(key)
+
+    def test_randomized_routing_varies_paths(self):
+        """Repeated queries should not always take the same route (§2.3)."""
+        net = PastryNetwork(b=4, l=8, seed=11, randomize_routing=True)
+        net.build(120)
+        rng = random.Random(12)
+        key = rng.getrandbits(idspace.ID_BITS)
+        origin = net.random_node(rng).node_id
+        paths = {tuple(net.route(origin, key).path) for _ in range(30)}
+        assert len(paths) > 1
+
+
+class TestStats:
+    def test_route_stats_accumulate(self, small_pastry):
+        small_pastry.stats.reset()
+        origin = small_pastry.nodes()[0].node_id
+        small_pastry.route(origin, 12345)
+        small_pastry.route(origin, 99999)
+        assert small_pastry.stats.routes == 2
+        assert small_pastry.stats.hops >= 0
+
+    def test_distance_collection(self, small_pastry):
+        small_pastry.stats.reset()
+        origin = small_pastry.nodes()[0].node_id
+        key = small_pastry.nodes()[-1].node_id
+        result = small_pastry.route(origin, key, collect_distance=True)
+        if result.hops:
+            assert result.distance > 0

@@ -1,0 +1,123 @@
+"""Stateful property tests: hypothesis drives random operation sequences.
+
+Two machines:
+
+* :class:`LeafSetMachine` — random add/remove churn against a reference
+  model of the leaf-set semantics.
+* :class:`OverlayMachine` — random joins and failures of a live Pastry
+  overlay; after every step, routing a random key from a random node must
+  deliver at the numerically closest live node.
+"""
+
+import random
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.pastry import PastryNetwork, idspace
+from repro.pastry.leafset import LeafSet
+
+SMALL_IDS = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+class LeafSetMachine(RuleBasedStateMachine):
+    """Leaf-set views must always match the brute-force reference."""
+
+    def __init__(self):
+        super().__init__()
+        self.owner = 0x8000
+        self.l = 8
+        self.leafset = LeafSet(self.owner, self.l)
+        self.universe = set()
+
+    @rule(node=SMALL_IDS)
+    def add(self, node):
+        self.leafset.add(node)
+        if node != self.owner:
+            self.universe.add(node)
+
+    @rule(node=SMALL_IDS)
+    def remove(self, node):
+        self.leafset.remove(node)
+        self.universe.discard(node)
+
+    @invariant()
+    def sides_match_reference(self):
+        # Reference: partition by nearer direction, keep l/2 nearest each.
+        # The leaf set may have *forgotten* nodes trimmed earlier, so its
+        # views must be a suffix-consistent subset of the reference built
+        # from its own member set.
+        members = self.leafset.members()
+        cw = sorted(
+            (m for m in members
+             if idspace.clockwise_distance(self.owner, m)
+             <= idspace.counterclockwise_distance(self.owner, m)),
+            key=lambda m: idspace.clockwise_distance(self.owner, m),
+        )
+        ccw = sorted(
+            (m for m in members
+             if idspace.clockwise_distance(self.owner, m)
+             > idspace.counterclockwise_distance(self.owner, m)),
+            key=lambda m: idspace.counterclockwise_distance(self.owner, m),
+        )
+        assert self.leafset.larger == cw[: self.l // 2]
+        assert self.leafset.smaller == ccw[: self.l // 2]
+
+    @invariant()
+    def members_within_universe(self):
+        assert self.leafset.members() <= self.universe
+
+    @invariant()
+    def closest_matches_bruteforce(self):
+        key = 0x1234
+        candidates = self.leafset.members() | {self.owner}
+        assert self.leafset.closest_to(key) == idspace.closest_of(candidates, key)
+
+
+class OverlayMachine(RuleBasedStateMachine):
+    """Routing stays correct through arbitrary join/fail/recover churn."""
+
+    def __init__(self):
+        super().__init__()
+        self.net = PastryNetwork(b=4, l=8, seed=99)
+        self.net.build(12)
+        self.rng = random.Random(99)
+        self.failed = []
+
+    @rule()
+    def join(self):
+        if len(self.net) < 40:
+            self.net.join()
+
+    @precondition(lambda self: len(self.net) > 6)
+    @rule(pick=st.integers(min_value=0, max_value=10**9))
+    def fail(self, pick):
+        ids = self.net.node_ids
+        victim = ids[pick % len(ids)]
+        self.net.fail_node(victim)
+        self.failed.append(victim)
+
+    @precondition(lambda self: bool(self.failed))
+    @rule(pick=st.integers(min_value=0, max_value=10**9))
+    def recover(self, pick):
+        victim = self.failed.pop(pick % len(self.failed))
+        self.net.recover_node(victim)
+
+    @invariant()
+    def routing_delivers_at_closest(self):
+        for _ in range(3):
+            key = self.rng.getrandbits(idspace.ID_BITS)
+            origin = self.net.random_node(self.rng).node_id
+            result = self.net.route(origin, key)
+            assert result.terminus == self.net.numerically_closest_live(key)
+
+
+TestLeafSetStateful = LeafSetMachine.TestCase
+TestLeafSetStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+
+TestOverlayStateful = OverlayMachine.TestCase
+TestOverlayStateful.settings = settings(
+    max_examples=8, stateful_step_count=15, deadline=None
+)

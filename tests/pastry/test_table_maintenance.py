@@ -1,0 +1,69 @@
+"""Tests for periodic routing-table maintenance."""
+
+import random
+
+from repro.pastry import idspace
+from tests.conftest import build_pastry
+
+
+def mean_entry_distance(net) -> float:
+    """Average proximity of all routing-table entries to their owners."""
+    total, count = 0.0, 0
+    for node in net.nodes():
+        for entry in node.routing_table.entries():
+            total += net.distance(node.node_id, entry)
+            count += 1
+    return total / count if count else 0.0
+
+
+class TestTableMaintenance:
+    def test_improves_or_preserves_entry_proximity(self):
+        net = build_pastry(150, l=8, seed=70)
+        before = mean_entry_distance(net)
+        net.run_table_maintenance(rounds=3)
+        after = mean_entry_distance(net)
+        assert after <= before + 1e-9
+
+    def test_reports_improvements(self):
+        net = build_pastry(150, l=8, seed=71)
+        improved = net.run_table_maintenance(rounds=5)
+        assert improved >= 0
+
+    def test_routing_still_correct_after_maintenance(self):
+        net = build_pastry(120, l=8, seed=72)
+        net.run_table_maintenance(rounds=3)
+        rng = random.Random(72)
+        for _ in range(200):
+            key = rng.getrandbits(idspace.ID_BITS)
+            result = net.route(net.random_node(rng).node_id, key)
+            assert result.terminus == net.numerically_closest_live(key)
+
+    def test_never_installs_dead_entries(self):
+        net = build_pastry(100, l=8, seed=73)
+        rng = random.Random(73)
+        ids = list(net.node_ids)
+        rng.shuffle(ids)
+        for victim in ids[:15]:
+            net.fail_node(victim)
+        net.run_table_maintenance(rounds=3)
+        for node in net.nodes():
+            for entry in node.routing_table.entries():
+                # Entries may be stale (lazy repair), but maintenance must
+                # not have *added* dead ones; spot-check by re-running and
+                # confirming no dead node was newly considered.
+                pass
+        # Stronger check: maintenance on a clean network adds only live ids.
+        before = {
+            node.node_id: set(node.routing_table.entries()) for node in net.nodes()
+        }
+        net.run_table_maintenance(rounds=2)
+        for node in net.nodes():
+            added = set(node.routing_table.entries()) - before[node.node_id]
+            assert all(net.is_live(e) for e in added)
+
+    def test_empty_network_noop(self):
+        from repro.pastry import PastryNetwork
+
+        net = PastryNetwork(seed=74)
+        net.create_first_node()
+        assert net.run_table_maintenance() == 0

@@ -1,0 +1,69 @@
+"""Tests for lazy routing-table repair (§2.1: 'repaired lazily')."""
+
+import random
+
+from repro.pastry import PastryNetwork, idspace
+from tests.conftest import build_pastry
+
+
+def find_repairable(net):
+    """A (node, dead_entry) pair where the node has live row peers."""
+    for node in net.nodes():
+        for entry in node.routing_table.entries():
+            row, col = node.routing_table.slot_for(entry)
+            peers = [
+                e for e in node.routing_table.row(row)
+                if e is not None and e != entry
+            ]
+            if peers:
+                return node, entry, row, col
+    return None
+
+
+class TestLazyRepair:
+    def test_repair_fills_slot_from_row_peer(self):
+        net = build_pastry(150, l=8, seed=60)
+        found = find_repairable(net)
+        assert found, "topology should offer a repairable slot"
+        node, dead, row, col = found
+        # Quietly remove the entry's node (no witness notification) so only
+        # lazy repair can fix the slot.
+        net._deregister(dead)
+        node.routing_table.remove(dead)
+        replacement = node.repair_table_entry(row, col)
+        if replacement is not None:
+            assert net.is_live(replacement)
+            assert idspace.shared_prefix_length(node.node_id, replacement, 4) == row
+            assert idspace.digit(replacement, row, 4) == col
+
+    def test_routing_triggers_repair_on_dead_entry(self):
+        net = build_pastry(150, l=8, seed=61)
+        rng = random.Random(61)
+        # Remove a node quietly; subsequent routes that would have used it
+        # must still deliver correctly (and repair as a side effect).
+        victim = net.random_node(rng).node_id
+        net._deregister(victim)
+        for _ in range(200):
+            key = rng.getrandbits(idspace.ID_BITS)
+            origin = net.random_node(rng).node_id
+            result = net.route(origin, key)
+            assert result.terminus == net.numerically_closest_live(key)
+
+    def test_repair_returns_none_when_no_candidates(self):
+        net = PastryNetwork(b=4, l=8, seed=62)
+        node = net.create_first_node()
+        assert node.repair_table_entry(0, 5) is None
+
+    def test_repair_never_installs_dead_or_self(self):
+        net = build_pastry(100, l=8, seed=63)
+        node = net.nodes()[0]
+        dead_ids = list(net.node_ids)[50:55]
+        for dead in dead_ids:
+            net._deregister(dead)
+        # Repair every slot we can; results must be live and correctly placed.
+        for row in range(3):
+            for col in range(16):
+                result = node.repair_table_entry(row, col)
+                if result is not None:
+                    assert net.is_live(result)
+                    assert result != node.node_id

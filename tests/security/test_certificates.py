@@ -1,0 +1,115 @@
+"""Tests for file certificates, store receipts and reclaim certificates."""
+
+import dataclasses
+
+import pytest
+
+from repro.security import (
+    CertificateError,
+    FileCertificate,
+    ReclaimCertificate,
+    ReclaimReceipt,
+    StoreReceipt,
+)
+from repro.security.keys import KeyPair
+
+
+@pytest.fixture
+def owner():
+    return KeyPair("owner")
+
+
+@pytest.fixture
+def cert(owner):
+    return FileCertificate.issue(
+        file_id=123456, size=1000, k=3, salt=42, creation_date=7, owner_key=owner
+    )
+
+
+class TestFileCertificate:
+    def test_verify_passes(self, cert):
+        cert.verify()
+
+    def test_contains_metadata(self, cert, owner):
+        assert cert.file_id == 123456
+        assert cert.size == 1000
+        assert cert.k == 3
+        assert cert.salt == 42
+        assert cert.creation_date == 7
+        assert cert.owner_public == owner.public
+
+    def test_verify_rejects_tampered_size(self, cert):
+        forged = dataclasses.replace(cert, size=5)
+        with pytest.raises(CertificateError):
+            forged.verify()
+
+    def test_verify_rejects_tampered_k(self, cert):
+        forged = dataclasses.replace(cert, k=99)
+        with pytest.raises(CertificateError):
+            forged.verify()
+
+    def test_verify_rejects_reassigned_owner(self, cert):
+        eve = KeyPair("eve")
+        forged = dataclasses.replace(cert, owner_public=eve.public)
+        with pytest.raises(CertificateError):
+            forged.verify()
+
+    def test_verify_content_passes_on_match(self, cert):
+        cert.verify_content(1000)
+
+    def test_verify_content_detects_corruption(self, cert):
+        with pytest.raises(CertificateError):
+            cert.verify_content(999)
+
+    def test_rejects_nonpositive_k(self, owner):
+        bad = FileCertificate.issue(1, 10, 1, 0, 0, owner)
+        forged = dataclasses.replace(bad, k=0)
+        with pytest.raises(CertificateError):
+            forged.verify()
+
+
+class TestStoreReceipt:
+    def test_roundtrip(self):
+        node = KeyPair("node")
+        receipt = StoreReceipt.issue(99, 1234, diverted=True, node_key=node)
+        receipt.verify()
+        assert receipt.diverted is True
+
+    def test_rejects_tampered_node(self):
+        node = KeyPair("node")
+        receipt = StoreReceipt.issue(99, 1234, False, node)
+        forged = dataclasses.replace(receipt, node_id=5678)
+        with pytest.raises(CertificateError):
+            forged.verify()
+
+    def test_rejects_flipped_diversion_flag(self):
+        node = KeyPair("node")
+        receipt = StoreReceipt.issue(99, 1234, False, node)
+        forged = dataclasses.replace(receipt, diverted=True)
+        with pytest.raises(CertificateError):
+            forged.verify()
+
+
+class TestReclaim:
+    def test_reclaim_certificate_roundtrip(self, owner):
+        rc = ReclaimCertificate.issue(55, owner)
+        rc.verify(owner.public)
+
+    def test_reclaim_by_non_owner_rejected(self, owner):
+        eve = KeyPair("eve")
+        rc = ReclaimCertificate.issue(55, eve)
+        with pytest.raises(CertificateError):
+            rc.verify(owner.public)
+
+    def test_reclaim_receipt_roundtrip(self):
+        node = KeyPair("node")
+        receipt = ReclaimReceipt.issue(55, 1234, freed_bytes=800, node_key=node)
+        receipt.verify()
+        assert receipt.freed_bytes == 800
+
+    def test_reclaim_receipt_rejects_tampered_bytes(self):
+        node = KeyPair("node")
+        receipt = ReclaimReceipt.issue(55, 1234, 800, node)
+        forged = dataclasses.replace(receipt, freed_bytes=1)
+        with pytest.raises(CertificateError):
+            forged.verify()

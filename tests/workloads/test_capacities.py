@@ -1,0 +1,63 @@
+"""Tests for the Table 1 node-capacity distributions."""
+
+import random
+
+import pytest
+
+from repro.workloads import D1, D2, D3, D4, DISTRIBUTIONS, MB
+
+
+class TestTable1Parameters:
+    def test_all_four_present(self):
+        assert set(DISTRIBUTIONS) == {"d1", "d2", "d3", "d4"}
+
+    def test_published_parameters(self):
+        assert (D1.mean_mb, D1.sigma_mb, D1.lower_mb, D1.upper_mb) == (27, 10.8, 2, 51)
+        assert (D2.mean_mb, D2.sigma_mb, D2.lower_mb, D2.upper_mb) == (27, 9.6, 4, 49)
+        assert (D3.mean_mb, D3.sigma_mb, D3.lower_mb, D3.upper_mb) == (27, 54.0, 6, 48)
+        assert (D4.mean_mb, D4.sigma_mb, D4.lower_mb, D4.upper_mb) == (27, 54.0, 1, 53)
+
+    def test_d1_d2_bounds_are_2_3_sigma(self):
+        for dist in (D1, D2):
+            assert dist.lower_mb == pytest.approx(dist.mean_mb - 2.3 * dist.sigma_mb, abs=1.0)
+            assert dist.upper_mb == pytest.approx(dist.mean_mb + 2.3 * dist.sigma_mb, abs=1.0)
+
+
+class TestSampling:
+    @pytest.mark.parametrize("name", ["d1", "d2", "d3", "d4"])
+    def test_samples_within_bounds(self, name):
+        dist = DISTRIBUTIONS[name]
+        rng = random.Random(1)
+        for cap in dist.sample(500, rng):
+            assert dist.lower_mb * MB <= cap <= dist.upper_mb * MB
+
+    def test_d1_mean_close_to_published(self):
+        rng = random.Random(2)
+        caps = D1.sample(4000, rng)
+        mean = sum(caps) / len(caps)
+        assert mean == pytest.approx(27 * MB, rel=0.05)
+
+    def test_d3_flatter_than_d1(self):
+        """d3's huge sigma makes it near-uniform: more mass at the edges."""
+        rng = random.Random(3)
+        d1_caps = D1.sample(4000, rng)
+        d3_caps = D3.sample(4000, rng)
+        edge = 10 * MB
+        d1_small = sum(1 for c in d1_caps if c < edge) / len(d1_caps)
+        d3_small = sum(1 for c in d3_caps if c < edge) / len(d3_caps)
+        assert d3_small > d1_small * 1.5
+
+    def test_scale_multiplies(self):
+        rng = random.Random(4)
+        caps = D1.sample(100, rng, scale=10.0)
+        lo, hi = D1.bounds_bytes(scale=10.0)
+        assert all(lo <= c <= hi for c in caps)
+        assert D1.mean_bytes(10.0) == 270 * MB
+
+    def test_deterministic_given_rng(self):
+        a = D1.sample(50, random.Random(9))
+        b = D1.sample(50, random.Random(9))
+        assert a == b
+
+    def test_requested_count(self):
+        assert len(D4.sample(123, random.Random(5))) == 123

@@ -1,0 +1,125 @@
+"""Tests for the squid-log parser and trace serialization."""
+
+import io
+
+import pytest
+
+from repro.workloads import (
+    LogRecord,
+    build_trace,
+    combine_logs,
+    parse_squid_log,
+    read_trace,
+    write_trace,
+)
+from repro.workloads.nlanr import LogParseError
+
+SAMPLE_LOG = """\
+983802878.264 110 client-a TCP_MISS/200 1456 GET http://example.com/a - DIRECT/1.2.3.4 text/html
+983802879.100 90 client-b TCP_HIT/200 800 GET http://example.com/b - NONE/- image/gif
+983802880.500 120 client-a TCP_MISS/200 1456 GET http://example.com/a - DIRECT/1.2.3.4 text/html
+# a comment line
+983802881.000 50 client-c TCP_MISS/404 0 GET http://example.com/missing - DIRECT/- text/html
+"""
+
+
+class TestParser:
+    def test_parses_fields(self):
+        records = parse_squid_log(SAMPLE_LOG.splitlines())
+        assert len(records) == 4
+        first = records[0]
+        assert first.timestamp == pytest.approx(983802878.264)
+        assert first.client == "client-a"
+        assert first.url == "http://example.com/a"
+        assert first.size == 1456
+
+    def test_zero_size_allowed(self):
+        """The NLANR trace's smallest file is 0 bytes."""
+        records = parse_squid_log(SAMPLE_LOG.splitlines())
+        assert records[-1].size == 0
+
+    def test_skips_malformed_lines(self):
+        records = parse_squid_log(["garbage", "1 2 3"])
+        assert records == []
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(LogParseError):
+            parse_squid_log(["too few fields"], strict=True)
+        with pytest.raises(LogParseError):
+            parse_squid_log(["notatime 1 c A/200 xyz GET http://u"], strict=True)
+
+    def test_site_tagging(self):
+        records = parse_squid_log(SAMPLE_LOG.splitlines(), site=3)
+        assert all(r.site == 3 for r in records)
+
+
+class TestCombine:
+    def test_merges_by_timestamp(self):
+        a = [LogRecord(10.0, "c1", "u1", 100, site=0)]
+        b = [LogRecord(5.0, "c2", "u2", 200, site=1), LogRecord(15.0, "c2", "u3", 50, site=1)]
+        merged = combine_logs([a, b])
+        assert [r.url for r in merged] == ["u2", "u1", "u3"]
+
+    def test_stable_within_site(self):
+        a = [LogRecord(10.0, "c", "u1", 1, 0), LogRecord(10.0, "c", "u2", 2, 0)]
+        merged = combine_logs([a])
+        assert [r.url for r in merged] == ["u1", "u2"]
+
+
+class TestBuildTrace:
+    def test_first_reference_inserts(self):
+        records = parse_squid_log(SAMPLE_LOG.splitlines())
+        trace = build_trace(records)
+        kinds = [e.kind for e in trace]
+        assert kinds == ["insert", "insert", "lookup", "insert"]
+
+    def test_repeat_keeps_first_size(self):
+        records = [
+            LogRecord(1.0, "c", "u", 100),
+            LogRecord(2.0, "c", "u", 999),  # size changed mid-trace
+        ]
+        trace = build_trace(records)
+        assert trace.events[1].kind == "lookup"
+        assert trace.events[1].size == 100
+
+    def test_clients_renumbered_densely(self):
+        records = parse_squid_log(SAMPLE_LOG.splitlines())
+        trace = build_trace(records)
+        assert {e.client for e in trace} == {0, 1, 2}
+        assert trace.n_clients == 3
+
+    def test_max_entries_truncates(self):
+        """The paper truncates the combined log to 4,000,000 entries."""
+        records = parse_squid_log(SAMPLE_LOG.splitlines())
+        trace = build_trace(records, max_entries=2)
+        assert len(trace) == 2
+
+
+class TestSerialization:
+    def test_roundtrip_via_buffer(self):
+        records = parse_squid_log(SAMPLE_LOG.splitlines(), site=2)
+        trace = build_trace(records)
+        buf = io.StringIO()
+        write_trace(trace, buf)
+        buf.seek(0)
+        loaded = read_trace(buf)
+        assert loaded.events == trace.events
+        assert loaded.n_clients == trace.n_clients
+        assert loaded.n_sites == trace.n_sites
+
+    def test_roundtrip_via_file(self, tmp_path):
+        records = parse_squid_log(SAMPLE_LOG.splitlines())
+        trace = build_trace(records)
+        path = tmp_path / "trace.tsv"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded.events == trace.events
+
+    def test_synthetic_trace_roundtrips(self, tmp_path):
+        from repro.workloads import WebProxyWorkload
+
+        trace = WebProxyWorkload(n_files=50, seed=9).request_trace(n_requests=200)
+        path = tmp_path / "synthetic.tsv"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded.events == trace.events

@@ -1,0 +1,175 @@
+"""Tests for the synthetic NLANR web-proxy and filesystem workloads."""
+
+import statistics
+
+import pytest
+
+from repro.workloads import FilesystemWorkload, WebProxyWorkload
+from repro.workloads.web_proxy import lognormal_params
+
+
+class TestLognormalFit:
+    def test_fit_reproduces_moments(self):
+        import math
+
+        mu, sigma = lognormal_params(1312, 10517)
+        assert math.exp(mu) == pytest.approx(1312)
+        assert math.exp(mu + sigma**2 / 2) == pytest.approx(10517)
+
+    def test_rejects_mean_below_median(self):
+        with pytest.raises(ValueError):
+            lognormal_params(100, 50)
+
+    def test_rejects_nonpositive_median(self):
+        with pytest.raises(ValueError):
+            lognormal_params(0, 50)
+
+
+class TestWebProxyStorageTrace:
+    def test_matches_published_statistics(self):
+        wl = WebProxyWorkload(n_files=30_000, seed=1)
+        stats = wl.storage_trace().size_stats()
+        assert stats["median"] == pytest.approx(1312, rel=0.15)
+        assert stats["mean"] == pytest.approx(10_517, rel=0.25)
+
+    def test_sizes_capped_at_paper_max(self):
+        wl = WebProxyWorkload(n_files=5_000, seed=2)
+        stats = wl.storage_trace().size_stats()
+        assert stats["max"] <= 138_000_000
+
+    def test_every_file_inserted_once(self):
+        wl = WebProxyWorkload(n_files=500, seed=3)
+        trace = wl.storage_trace()
+        assert trace.unique_files() == 500
+        assert len({e.file_index for e in trace}) == 500
+        assert all(e.kind == "insert" for e in trace)
+
+    def test_n_files_from_total_bytes(self):
+        wl = WebProxyWorkload(total_content_bytes=10_517 * 1000, seed=4)
+        assert wl.n_files == 1000
+
+    def test_requires_some_size_parameter(self):
+        with pytest.raises(ValueError):
+            WebProxyWorkload()
+
+    def test_deterministic_per_seed(self):
+        a = WebProxyWorkload(n_files=200, seed=7).storage_trace()
+        b = WebProxyWorkload(n_files=200, seed=7).storage_trace()
+        assert [e.size for e in a] == [e.size for e in b]
+        assert [e.file_index for e in a] == [e.file_index for e in b]
+
+    def test_seeds_vary_trace(self):
+        a = WebProxyWorkload(n_files=200, seed=7).storage_trace()
+        b = WebProxyWorkload(n_files=200, seed=8).storage_trace()
+        assert [e.size for e in a] != [e.size for e in b]
+
+    def test_clients_within_range(self):
+        wl = WebProxyWorkload(n_files=300, n_clients=10, n_sites=4, seed=9)
+        trace = wl.storage_trace()
+        assert all(0 <= e.client < 10 for e in trace)
+        assert all(0 <= e.site < 4 for e in trace)
+
+
+class TestWebProxyRequestTrace:
+    def test_first_reference_inserts_then_lookups(self):
+        wl = WebProxyWorkload(n_files=200, seed=10)
+        trace = wl.request_trace(n_requests=2_000)
+        seen = set()
+        for e in trace:
+            if e.file_index not in seen:
+                assert e.kind == "insert"
+                seen.add(e.file_index)
+            else:
+                assert e.kind == "lookup"
+
+    def test_zipf_popularity_is_skewed(self):
+        wl = WebProxyWorkload(n_files=500, zipf_alpha=0.9, seed=11)
+        trace = wl.request_trace(n_requests=10_000)
+        from collections import Counter
+
+        counts = Counter(e.file_index for e in trace)
+        top = counts.most_common(50)
+        top_share = sum(c for _, c in top) / len(trace)
+        assert top_share > 0.3  # heavy head
+
+    def test_request_count_default_ratio(self):
+        wl = WebProxyWorkload(n_files=1_000, requests_per_file=2.15, seed=12)
+        trace = wl.request_trace()
+        assert len(trace) == 2_150
+
+    def test_site_affinity_biases_requests(self):
+        wl = WebProxyWorkload(
+            n_files=50, n_clients=80, n_sites=8, site_affinity=1.0, seed=13
+        )
+        trace = wl.request_trace(n_requests=4_000)
+        from collections import Counter, defaultdict
+
+        sites_per_file = defaultdict(Counter)
+        for e in trace:
+            sites_per_file[e.file_index][e.site] += 1
+        # With full affinity every file is requested from exactly one site.
+        for counter in sites_per_file.values():
+            assert len(counter) == 1
+
+    def test_no_affinity_spreads_requests(self):
+        wl = WebProxyWorkload(
+            n_files=20, n_clients=80, n_sites=8, site_affinity=0.0, seed=14
+        )
+        trace = wl.request_trace(n_requests=4_000)
+        sites = {e.site for e in trace}
+        assert len(sites) == 8
+
+
+class TestFilesystemTrace:
+    def test_matches_published_statistics(self):
+        wl = FilesystemWorkload(n_files=30_000, seed=20)
+        stats = wl.storage_trace().size_stats()
+        assert stats["median"] == pytest.approx(4_578, rel=0.15)
+        assert stats["mean"] == pytest.approx(88_233, rel=0.3)
+
+    def test_alphabetical_order(self):
+        wl = FilesystemWorkload(n_files=500, seed=21)
+        names = [e.name for e in wl.storage_trace()]
+        assert names == sorted(names)
+
+    def test_heavier_tail_than_web(self):
+        web = WebProxyWorkload(n_files=20_000, seed=22).storage_trace().size_stats()
+        fs = FilesystemWorkload(n_files=20_000, seed=22).storage_trace().size_stats()
+        assert fs["mean"] / fs["median"] > web["mean"] / web["median"]
+
+    def test_deterministic(self):
+        a = FilesystemWorkload(n_files=100, seed=23).storage_trace()
+        b = FilesystemWorkload(n_files=100, seed=23).storage_trace()
+        assert [e.size for e in a] == [e.size for e in b]
+
+
+class TestTraceContainer:
+    def test_truncated(self):
+        wl = WebProxyWorkload(n_files=100, seed=30)
+        trace = wl.storage_trace()
+        cut = trace.truncated(10)
+        assert len(cut) == 10
+        assert cut.events == trace.events[:10]
+
+    def test_total_content_bytes(self):
+        wl = WebProxyWorkload(n_files=100, seed=31)
+        trace = wl.storage_trace()
+        assert trace.total_content_bytes() == sum(e.size for e in trace.inserts)
+
+    def test_empty_stats(self):
+        from repro.workloads import Trace
+
+        assert Trace().size_stats() == {"count": 0}
+
+
+class TestTraceViews:
+    def test_lookups_view(self):
+        wl = WebProxyWorkload(n_files=100, seed=40)
+        trace = wl.request_trace(n_requests=400)
+        assert len(trace.inserts) + len(trace.lookups) == len(trace)
+        assert all(e.kind == "lookup" for e in trace.lookups)
+
+    def test_iteration_matches_events(self):
+        wl = WebProxyWorkload(n_files=50, seed=41)
+        trace = wl.storage_trace()
+        assert list(trace) == trace.events

@@ -17,6 +17,7 @@ from .errors import (
     PastError,
 )
 from .invariants import AuditReport, audit
+from .seeding import derive_seed
 from .network import InsertResult, LookupResult, PastNetwork, ReclaimResult
 from .node import PastNode
 from .stats import InsertEvent, LookupEvent, PastStats
@@ -37,6 +38,7 @@ __all__ = [
     "NotOwnerError",
     "audit",
     "AuditReport",
+    "derive_seed",
     "PastNetwork",
     "PastNode",
     "InsertResult",

@@ -33,6 +33,7 @@ from ..security.smartcard import QuotaExceededError
 from .config import PastConfig
 from .errors import AdmissionError
 from .messages import InsertRequest, LookupRequest, ReclaimRequest
+from .seeding import derive_seed
 from .node import PastNode
 from .stats import InsertEvent, LookupEvent, PastStats
 from .storage import LocalStore
@@ -101,7 +102,7 @@ class PastNetwork:
             seed=self.config.seed,
             randomize_routing=self.config.randomize_routing,
         )
-        self.rng = random.Random(self.config.seed ^ 0x5A17)
+        self.rng = random.Random(derive_seed(self.config.seed, "past-network"))
         self.issuer = issuer if issuer is not None else SmartcardIssuer()
         self.stats = PastStats()
         self._past: Dict[int, PastNode] = {}

@@ -1,0 +1,31 @@
+"""Stable seed derivation for sub-streams of randomness.
+
+All randomness in a deployment flows from ``PastConfig.seed`` (§5 setup:
+one seed, one trajectory).  Components that need independent streams —
+capacity sampling, insert origins, the network's own RNG — must not
+derive them with ad-hoc arithmetic: ``seed ^ hash((k, fraction)) & 0xFFFF``
+is both precedence-surprising (``&`` binds tighter than ``^``) and
+process-dependent (builtin ``hash`` is salted by PYTHONHASHSEED), and
+``seed ^ 0xCAFE``-style constants collide whenever two call sites pick
+the same constant.
+
+:func:`derive_seed` maps the master seed plus any repr-stable labels
+(ints, floats, strings, tuples thereof) to a 63-bit sub-seed through
+SHA-256, so distinct component labels give independent streams and the
+same inputs give the same stream on every platform and process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def derive_seed(master: int, *components: object) -> int:
+    """A stable 63-bit sub-seed from the master seed and component labels.
+
+    ``repr`` is the serialization: for ints, floats (shortest round-trip
+    repr), strings, bools and nested tuples of those it is identical
+    across processes and platforms, unlike builtin ``hash``.
+    """
+    payload = repr((int(master),) + components).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big") >> 1

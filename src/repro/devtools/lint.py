@@ -1,0 +1,72 @@
+"""Command-line linter: ``python -m repro.devtools.lint [paths...]``.
+
+Exit status: 0 for a clean tree, 1 when findings are reported, 2 for
+usage errors (unknown rule, unreadable path, unparseable source).
+
+Findings can be suppressed per line with ``# lint: ignore[rule-name]``
+(or bare ``# lint: ignore`` for every rule on that line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .framework import LintError, collect_modules, run_rules
+from .rules import all_rules, get_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Static determinism/purity/layering checks for the PAST reproduction.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:24} {rule.description}")
+        return 0
+    try:
+        rules = get_rules(args.select.split(",") if args.select else None)
+        modules = collect_modules(args.paths)
+        findings = run_rules(modules, rules)
+    except LintError as exc:
+        print(f"lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(
+            {"findings": [f.to_dict() for f in findings], "count": len(findings)},
+            indent=2,
+        ))
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"{len(findings)} {noun} in {len(modules)} modules")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Rule registry: every lint rule shipped with ``repro.devtools``."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..framework import LintError, Rule
+from .determinism import BuiltinHashRule, GlobalRandomRule, UnseededRandomRule, WallClockRule
+from .layering import LayeringRule
+from .protocol import ProtocolCompletenessRule
+from .purity import SimPurityRule
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of the full rule set, in report order."""
+    return [
+        UnseededRandomRule(),
+        GlobalRandomRule(),
+        WallClockRule(),
+        BuiltinHashRule(),
+        SimPurityRule(),
+        LayeringRule(),
+        ProtocolCompletenessRule(),
+    ]
+
+
+#: Stable catalogue used by the CLI for ``--list-rules``.
+ALL_RULES: List[Rule] = all_rules()
+
+
+def get_rules(names: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Resolve a ``--select`` list to rule instances (all rules if None)."""
+    rules = all_rules()
+    if names is None:
+        return rules
+    by_name = {rule.name: rule for rule in rules}
+    selected = []
+    for name in names:
+        if name not in by_name:
+            known = ", ".join(sorted(by_name))
+            raise LintError(f"unknown rule {name!r} (known rules: {known})")
+        selected.append(by_name[name])
+    return selected
+
+
+__all__ = [
+    "ALL_RULES",
+    "BuiltinHashRule",
+    "GlobalRandomRule",
+    "LayeringRule",
+    "ProtocolCompletenessRule",
+    "SimPurityRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+    "all_rules",
+    "get_rules",
+]

@@ -1,0 +1,106 @@
+"""Layering rule: enforce the package dependency order of DESIGN.md.
+
+The dependency DAG (low to high)::
+
+    security, netsim, erasure, workloads, analysis, devtools   (leaves)
+    pastry        -> netsim, security
+    core          -> pastry, netsim, security
+    client        -> core, erasure, security, pastry, netsim
+    experiments   -> core, pastry, netsim, security, workloads,
+                     erasure, analysis, client
+    cli / __main__ / top-level repro  (application shell: anything)
+
+An import edge not in this table — ``repro.pastry`` importing
+``repro.core``, say — inverts the layering and is flagged at the import
+site.  Relative imports are resolved against the importing module's
+package, so ``from ..core import audit`` in ``repro.experiments.churn``
+counts as a ``core`` edge.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Mapping, Optional
+
+from ..framework import Finding, ModuleInfo, Rule
+
+#: subpackage -> subpackages it may import from (itself is always allowed).
+LAYER_DEPS: Mapping[str, FrozenSet[str]] = {
+    "security": frozenset(),
+    "netsim": frozenset(),
+    "erasure": frozenset(),
+    "workloads": frozenset(),
+    "analysis": frozenset(),
+    "devtools": frozenset(),
+    "pastry": frozenset({"netsim", "security"}),
+    "core": frozenset({"pastry", "netsim", "security"}),
+    "client": frozenset({"core", "erasure", "security", "pastry", "netsim"}),
+    "experiments": frozenset(
+        {"core", "pastry", "netsim", "security", "workloads", "erasure", "analysis", "client"}
+    ),
+}
+
+#: Top-level application modules exempt from the table (they sit above it).
+_APP_MODULES = frozenset({"repro", "repro.cli", "repro.__main__"})
+
+
+def _resolve_relative(package: str, level: int, module: Optional[str]) -> Optional[str]:
+    """Absolute dotted target of a relative import, or None if it escapes."""
+    parts = package.split(".") if package else []
+    if level - 1 >= len(parts):
+        return None
+    if level > 1:
+        parts = parts[: len(parts) - (level - 1)]
+    return ".".join(parts + (module.split(".") if module else []))
+
+
+def _target_subpackage(target: str) -> Optional[str]:
+    parts = target.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+class LayeringRule(Rule):
+    """Flag import edges that violate the package dependency table."""
+
+    name = "layering"
+    description = (
+        "cross-layer imports must follow DESIGN.md's dependency order "
+        "(e.g. repro.pastry and repro.netsim never import repro.core)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        source_sub = module.subpackage
+        if source_sub is None or module.name in _APP_MODULES:
+            return
+        allowed = LAYER_DEPS.get(source_sub)
+        if allowed is None:
+            return
+        for node in ast.walk(module.tree):
+            targets = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level > 0:
+                    base = _resolve_relative(module.package, node.level, node.module)
+                    if base is None:
+                        continue
+                    if node.module:
+                        targets = [base]
+                    else:
+                        # ``from . import x, y`` imports sibling submodules.
+                        targets = [f"{base}.{alias.name}" for alias in node.names]
+                elif node.module:
+                    targets = [node.module]
+            for target in targets:
+                target_sub = _target_subpackage(target)
+                if target_sub is None or target_sub == source_sub:
+                    continue
+                if target_sub not in allowed:
+                    yield self.finding(
+                        module, node,
+                        f"repro.{source_sub} must not import repro.{target_sub} "
+                        f"(imported {target!r}); allowed dependencies: "
+                        f"{', '.join(sorted(allowed)) or 'none'}",
+                    )

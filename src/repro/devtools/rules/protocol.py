@@ -1,0 +1,86 @@
+"""Protocol-completeness rule: every request message has a handler path.
+
+``repro.core.messages`` defines the request envelopes PAST routes through
+the overlay; ``repro.core.node`` must dispatch on each of them and
+``repro.core.network`` must construct each of them.  A ``*Request`` class
+that one side forgot is dead protocol surface — either an unreachable
+message or a client operation that silently no-ops — and is exactly the
+kind of drift a refactor introduces.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from ..framework import Finding, ModuleInfo, ProjectRule
+
+_MESSAGES_MODULE = "repro.core.messages"
+_HANDLER_MODULES = ("repro.core.node",)
+_CONSTRUCTOR_MODULES = ("repro.core.network",)
+
+
+def _referenced_names(tree: ast.Module) -> Set[str]:
+    return {node.id for node in ast.walk(tree) if isinstance(node, ast.Name)}
+
+
+def _constructed_names(tree: ast.Module) -> Set[str]:
+    return {
+        node.func.id
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+    }
+
+
+class ProtocolCompletenessRule(ProjectRule):
+    """Flag ``*Request`` dataclasses lacking a handler or a construction site."""
+
+    name = "protocol-completeness"
+    description = (
+        "every *Request dataclass in core/messages.py must be dispatched in "
+        "core/node.py and constructed in core/network.py"
+    )
+
+    def check_project(self, modules: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        by_name: Dict[str, ModuleInfo] = {module.name: module for module in modules}
+        messages = by_name.get(_MESSAGES_MODULE)
+        if messages is None:
+            # The messages module is outside the linted set (e.g. a
+            # single-file invocation); nothing to cross-check.
+            return
+        requests: List[ast.ClassDef] = [
+            node
+            for node in messages.tree.body
+            if isinstance(node, ast.ClassDef) and node.name.endswith("Request")
+        ]
+        handled: Set[str] = set()
+        for name in _HANDLER_MODULES:
+            module = by_name.get(name)
+            if module is not None:
+                handled |= _referenced_names(module.tree)
+        constructed: Set[str] = set()
+        for name in _CONSTRUCTOR_MODULES:
+            module = by_name.get(name)
+            if module is not None:
+                constructed |= _constructed_names(module.tree)
+        for request in requests:
+            if by_name.keys() >= set(_HANDLER_MODULES) and request.name not in handled:
+                yield Finding(
+                    rule=self.name,
+                    path=messages.path,
+                    line=request.lineno,
+                    message=(
+                        f"{request.name} is never referenced in "
+                        f"{'/'.join(_HANDLER_MODULES)}: no node-side handler path"
+                    ),
+                )
+            if by_name.keys() >= set(_CONSTRUCTOR_MODULES) and request.name not in constructed:
+                yield Finding(
+                    rule=self.name,
+                    path=messages.path,
+                    line=request.lineno,
+                    message=(
+                        f"{request.name} is never constructed in "
+                        f"{'/'.join(_CONSTRUCTOR_MODULES)}: no client operation sends it"
+                    ),
+                )

@@ -18,7 +18,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
-from ..core import PastNetwork
+from ..core import PastNetwork, derive_seed
 from .harness import StorageRunConfig, build_network, make_workload
 
 
@@ -108,7 +108,7 @@ def _map_clients_to_nodes(
     assigned to it in such a way to ensure that requests from the same
     trace are issued from PAST nodes that are close to each other."
     """
-    rng = random.Random(seed ^ 0xC11E)
+    rng = random.Random(derive_seed(seed, "client-mapping"))
     by_site: Dict[int, List[int]] = {}
     for node in net.nodes():
         by_site.setdefault(node.pastry.coord.cluster, []).append(node.node_id)

@@ -23,7 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..core import PastConfig, PastNetwork, audit
+from ..core import PastConfig, PastNetwork, audit, derive_seed
 from ..workloads import DISTRIBUTIONS
 
 
@@ -80,7 +80,7 @@ def run_availability_sweep(
             start = time.perf_counter()
             net = _build_and_fill(k, n_nodes, capacity_scale, seed, n_files)
             fids = net.live_file_ids()
-            rng = random.Random(seed ^ hash((k, fraction)) & 0xFFFF)
+            rng = random.Random(derive_seed(seed, "availability-victims", k, fraction))
             victims = list(net.pastry.node_ids)
             rng.shuffle(victims)
             victims = victims[: max(1, int(fraction * len(victims)))]
@@ -136,7 +136,7 @@ def run_churn_experiment(
     start = time.perf_counter()
     net = _build_and_fill(k, n_nodes, capacity_scale, seed, n_files)
     fids = net.live_file_ids()
-    rng = random.Random(seed + 1)
+    rng = random.Random(derive_seed(seed, "churn-events"))
     failed: List[int] = []
     audits_passed = audits_total = 0
     timeline: List[dict] = []

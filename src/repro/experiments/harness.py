@@ -21,7 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..core import PastConfig, PastNetwork, PastStats
+from ..core import PastConfig, PastNetwork, PastStats, derive_seed
 from ..netsim.topology import ClusteredTopology
 from ..workloads import DISTRIBUTIONS, FilesystemWorkload, Trace, WebProxyWorkload
 from ..workloads import web_proxy as web_stats
@@ -107,7 +107,7 @@ class StorageRunResult:
 def build_network(cfg: StorageRunConfig, clustered_sites: Optional[int] = None) -> PastNetwork:
     """Sample capacities from the configured distribution and build PAST."""
     dist = DISTRIBUTIONS[cfg.dist]
-    rng = random.Random(cfg.seed ^ 0xCAFE)
+    rng = random.Random(derive_seed(cfg.seed, "capacities"))
     capacities = dist.sample(cfg.n_nodes, rng, cfg.capacity_scale)
     topology = ClusteredTopology(clustered_sites, seed=cfg.seed) if clustered_sites else None
     net = PastNetwork(cfg.past_config(), topology=topology)
@@ -141,7 +141,7 @@ def make_workload(cfg: StorageRunConfig, net: PastNetwork, **extra):
 
 def play_inserts(net: PastNetwork, trace: Trace, seed: int = 0) -> None:
     """Insert every file of an insert-only trace from random origin nodes."""
-    rng = random.Random(seed ^ 0xF11E)
+    rng = random.Random(derive_seed(seed, "insert-origins"))
     node_ids = [n.node_id for n in net.nodes()]
     client = net.create_client("trace-client")
     for event in trace:

@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..core import PastConfig, PastNetwork
+from ..core import PastConfig, PastNetwork, derive_seed
 from ..pastry import idspace
 from ..workloads import DISTRIBUTIONS
 
@@ -140,7 +140,7 @@ def run_route_stretch(
     start = time.perf_counter()
     net = PastryNetwork(b=4, l=16, seed=seed)
     net.build(n_nodes)
-    rng = random.Random(seed + 1)
+    rng = random.Random(derive_seed(seed, "stretch-queries"))
     stretches = []
     hops = []
     for _ in range(queries):

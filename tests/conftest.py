@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro import PastConfig, PastNetwork
+from repro import PastConfig, PastNetwork, audit
 from repro.pastry import PastryNetwork
 
 
@@ -65,3 +65,23 @@ def small_past() -> PastNetwork:
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(12345)
+
+
+@pytest.fixture
+def audited():
+    """Register PAST networks for an invariant audit at test teardown.
+
+    Usage: ``audited(net)`` after building a network; once the test body
+    finishes, every registered network's final state is audited and any
+    ``Violation`` fails the test.  This wires the runtime half of the
+    determinism/invariant story (``repro.core.invariants``) into the
+    integration suite without each test re-implementing the check.
+    """
+    registered = []
+    yield registered.append
+    for net in registered:
+        report = audit(net)
+        assert report.ok, (
+            "invariant violations in final network state: "
+            f"{[str(v) for v in report.violations[:5]]}"
+        )

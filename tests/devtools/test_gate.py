@@ -1,0 +1,33 @@
+"""The lint gate: the shipped tree must be clean under the full rule set.
+
+This is the static complement of the runtime invariant audit — any PR
+that introduces unseeded randomness, wall-clock reads, cross-layer
+imports or an unhandled request message fails here before it can skew
+the paper's reproduced figures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools import collect_modules, run_rules
+from repro.devtools.rules import all_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_lint_clean():
+    modules = collect_modules([REPO_ROOT / "src"])
+    assert len(modules) > 50, "expected the whole src tree to be collected"
+    findings = run_rules(modules, all_rules())
+    rendered = "\n".join(f.render() for f in findings)
+    assert not findings, f"lint findings in src/:\n{rendered}"
+
+
+def test_rule_set_is_complete_and_distinct():
+    rules = all_rules()
+    names = [rule.name for rule in rules]
+    assert len(names) == len(set(names)), "duplicate rule names"
+    assert len(rules) >= 6, "the suite promises at least six distinct rules"
+    for rule in rules:
+        assert rule.name and rule.description

@@ -1,0 +1,234 @@
+"""Per-rule coverage: a snippet each rule must flag, and one it must pass."""
+
+from __future__ import annotations
+
+from repro.devtools import module_from_source, run_rules
+from repro.devtools.rules import (
+    BuiltinHashRule,
+    GlobalRandomRule,
+    LayeringRule,
+    ProtocolCompletenessRule,
+    SimPurityRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+
+
+def findings_for(rule, source, name="snippet"):
+    module = module_from_source(source, name=name, path=f"{name}.py")
+    return run_rules([module], [rule])
+
+
+class TestUnseededRandom:
+    def test_flags_unseeded_random(self):
+        found = findings_for(UnseededRandomRule(), "import random\nr = random.Random()\n")
+        assert [f.line for f in found] == [2]
+
+    def test_flags_system_random(self):
+        found = findings_for(
+            UnseededRandomRule(), "import random\nr = random.SystemRandom()\n"
+        )
+        assert len(found) == 1
+
+    def test_flags_unseeded_numpy_rng(self):
+        found = findings_for(
+            UnseededRandomRule(), "import numpy as np\nr = np.random.default_rng()\n"
+        )
+        assert len(found) == 1
+
+    def test_passes_seeded_constructions(self):
+        source = (
+            "import random\nimport numpy as np\n"
+            "a = random.Random(42)\n"
+            "b = np.random.default_rng(7)\n"
+        )
+        assert findings_for(UnseededRandomRule(), source) == []
+
+    def test_suppression_comment(self):
+        source = "import random\nr = random.Random()  # lint: ignore[unseeded-random]\n"
+        assert findings_for(UnseededRandomRule(), source) == []
+
+
+class TestGlobalRandom:
+    def test_flags_module_level_random_calls(self):
+        source = "import random\nx = random.random()\nrandom.shuffle([1, 2])\n"
+        found = findings_for(GlobalRandomRule(), source)
+        assert [f.line for f in found] == [2, 3]
+
+    def test_flags_legacy_numpy_global_api(self):
+        found = findings_for(
+            GlobalRandomRule(), "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        assert len(found) == 1
+
+    def test_passes_instance_methods(self):
+        source = (
+            "import random\nrng = random.Random(1)\n"
+            "x = rng.random()\nrng.shuffle([1, 2])\n"
+        )
+        assert findings_for(GlobalRandomRule(), source) == []
+
+    def test_passes_seeded_numpy_rng(self):
+        source = "import numpy as np\nrng = np.random.default_rng(1)\nx = rng.random()\n"
+        assert findings_for(GlobalRandomRule(), source) == []
+
+
+class TestWallClock:
+    def test_flags_time_time_anywhere(self):
+        found = findings_for(
+            WallClockRule(), "import time\nt = time.time()\n", name="repro.experiments.x"
+        )
+        assert len(found) == 1
+
+    def test_flags_datetime_now_via_from_import(self):
+        source = "from datetime import datetime\nt = datetime.now()\n"
+        assert len(findings_for(WallClockRule(), source, name="repro.analysis.x")) == 1
+
+    def test_flags_os_urandom_and_secrets(self):
+        source = "import os\nimport secrets\na = os.urandom(8)\nb = secrets.token_bytes(8)\n"
+        assert len(findings_for(WallClockRule(), source, name="repro.cli")) == 2
+
+    def test_perf_counter_banned_in_sim_layers(self):
+        source = "import time\nt = time.perf_counter()\n"
+        found = findings_for(WallClockRule(), source, name="repro.core.network")
+        assert len(found) == 1
+        assert "benchmark timing only" in found[0].message
+
+    def test_perf_counter_allowed_above_simulation(self):
+        source = "import time\nt = time.perf_counter()\n"
+        assert findings_for(WallClockRule(), source, name="repro.experiments.churn") == []
+
+
+class TestBuiltinHash:
+    def test_flags_builtin_hash(self):
+        found = findings_for(BuiltinHashRule(), "seed = 1 ^ hash((2, 3))\n")
+        assert len(found) == 1
+        assert "derive_seed" in found[0].message
+
+    def test_passes_locally_defined_hash(self):
+        source = "def hash(x):\n    return 0\n\nseed = hash(3)\n"
+        assert findings_for(BuiltinHashRule(), source) == []
+
+    def test_passes_hashlib_and_methods(self):
+        source = (
+            "import hashlib\n"
+            "d = hashlib.sha256(b'x').digest()\n"
+            "class C:\n"
+            "    def __hash__(self):\n"
+            "        return 0\n"
+        )
+        assert findings_for(BuiltinHashRule(), source) == []
+
+
+class TestSimPurity:
+    def test_flags_threading_import_in_core(self):
+        found = findings_for(
+            SimPurityRule(), "import threading\n", name="repro.core.network"
+        )
+        assert len(found) == 1
+
+    def test_flags_socket_from_import_in_pastry(self):
+        found = findings_for(
+            SimPurityRule(), "from socket import socket\n", name="repro.pastry.node"
+        )
+        assert len(found) == 1
+
+    def test_flags_open_and_print_in_netsim(self):
+        source = "data = open('f').read()\nprint(data)\n"
+        found = findings_for(SimPurityRule(), source, name="repro.netsim.topology")
+        assert [f.line for f in found] == [1, 2]
+
+    def test_passes_same_constructs_outside_sim_layers(self):
+        source = "import threading\ndata = open('f').read()\nprint(data)\n"
+        assert findings_for(SimPurityRule(), source, name="repro.workloads.nlanr") == []
+
+    def test_passes_pure_core_module(self):
+        source = "import heapq\nimport random\n\nrng = random.Random(1)\n"
+        assert findings_for(SimPurityRule(), source, name="repro.core.cache") == []
+
+
+class TestLayering:
+    def test_flags_pastry_importing_core(self):
+        found = findings_for(
+            LayeringRule(),
+            "from ..core import PastNetwork\n",
+            name="repro.pastry.node",
+        )
+        assert len(found) == 1
+        assert "repro.pastry must not import repro.core" in found[0].message
+
+    def test_flags_netsim_importing_experiments_absolute(self):
+        found = findings_for(
+            LayeringRule(),
+            "from repro.experiments import harness\n",
+            name="repro.netsim.eventsim",
+        )
+        assert len(found) == 1
+
+    def test_flags_security_importing_anything_above(self):
+        found = findings_for(
+            LayeringRule(), "from ..pastry import idspace\n", name="repro.security.keys"
+        )
+        assert len(found) == 1
+
+    def test_flags_from_dot_dot_import_subpackage(self):
+        found = findings_for(
+            LayeringRule(), "from .. import core\n", name="repro.netsim.stats"
+        )
+        assert len(found) == 1
+
+    def test_passes_allowed_edges(self):
+        assert findings_for(
+            LayeringRule(), "from ..netsim import MessageStats\n", name="repro.pastry.network"
+        ) == []
+        assert findings_for(
+            LayeringRule(), "from ..pastry import idspace\n", name="repro.core.invariants"
+        ) == []
+        assert findings_for(
+            LayeringRule(), "from ..core import audit\n", name="repro.experiments.churn"
+        ) == []
+
+    def test_passes_intra_package_and_stdlib_imports(self):
+        source = "import heapq\nfrom . import idspace\nfrom .leafset import LeafSet\n"
+        assert findings_for(LayeringRule(), source, name="repro.pastry.node") == []
+
+
+class TestProtocolCompleteness:
+    MESSAGES = (
+        "class InsertRequest:\n    pass\n\n"
+        "class LookupRequest:\n    pass\n\n"
+        "class NotARequestHelper:\n    pass\n"
+    )
+
+    def _project(self, node_src, network_src):
+        modules = [
+            module_from_source(self.MESSAGES, name="repro.core.messages", path="messages.py"),
+            module_from_source(node_src, name="repro.core.node", path="node.py"),
+            module_from_source(network_src, name="repro.core.network", path="network.py"),
+        ]
+        return run_rules(modules, [ProtocolCompletenessRule()])
+
+    def test_passes_when_all_requests_handled_and_constructed(self):
+        node = "def deliver(m):\n    return isinstance(m, (InsertRequest, LookupRequest))\n"
+        network = "def insert():\n    return InsertRequest()\n\ndef lookup():\n    return LookupRequest()\n"
+        assert self._project(node, network) == []
+
+    def test_flags_request_without_handler(self):
+        node = "def deliver(m):\n    return isinstance(m, InsertRequest)\n"
+        network = "def insert():\n    return InsertRequest()\n\ndef lookup():\n    return LookupRequest()\n"
+        found = self._project(node, network)
+        assert len(found) == 1
+        assert "LookupRequest" in found[0].message
+        assert "handler" in found[0].message
+
+    def test_flags_request_never_constructed(self):
+        node = "def deliver(m):\n    return isinstance(m, (InsertRequest, LookupRequest))\n"
+        network = "def insert():\n    return InsertRequest()\n"
+        found = self._project(node, network)
+        assert len(found) == 1
+        assert "LookupRequest" in found[0].message
+        assert "constructed" in found[0].message
+
+    def test_inactive_without_messages_module(self):
+        module = module_from_source("x = 1\n", name="repro.core.node", path="node.py")
+        assert run_rules([module], [ProtocolCompletenessRule()]) == []

@@ -1,0 +1,68 @@
+"""Determinism regression: same seed, same trajectory — byte for byte.
+
+The static rules in ``repro.devtools`` ban the *sources* of
+nondeterminism; this test pins the *outcome*: two runs with the same
+master seed must serialize to identical bytes (wall-clock timings
+excluded — they are reporting metadata, not simulation state), and a
+different seed must actually change the trajectory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.core import audit
+from repro.experiments.churn import run_churn_experiment
+from repro.experiments.harness import StorageRunConfig, run_storage_trace
+
+
+def churn_payload(seed: int) -> bytes:
+    """Canonical bytes of a small churn run (excluding wall-clock fields)."""
+    result = run_churn_experiment(
+        n_nodes=30, n_files=120, rounds=20, k=3, seed=seed, audit_every=5
+    )
+    payload = dataclasses.asdict(result)
+    payload.pop("elapsed_s")
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def storage_payload(seed: int) -> bytes:
+    """Canonical bytes of a trace run plus its final audit report."""
+    cfg = StorageRunConfig(n_nodes=30, capacity_scale=0.05, n_files=250, k=3, l=16, seed=seed)
+    result = run_storage_trace(cfg, keep_network=True)
+    report = audit(result.network)
+    payload = {
+        "succeeded": result.succeeded,
+        "failed": result.failed,
+        "utilization": result.utilization,
+        "file_diversion_ratio": result.file_diversion_ratio,
+        "replica_diversion_ratio": result.replica_diversion_ratio,
+        "n_files": result.n_files,
+        "total_capacity": result.total_capacity,
+        "insert_events": [dataclasses.asdict(e) for e in result.stats.inserts],
+        "audit": {
+            "ok": report.ok,
+            "violations": [dataclasses.asdict(v) for v in report.violations],
+            "files_checked": report.files_checked,
+            "nodes_checked": report.nodes_checked,
+            "lost_files": report.lost_files,
+        },
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+class TestSameSeedSameBytes:
+    def test_churn_experiment_replays_identically(self):
+        assert churn_payload(11) == churn_payload(11)
+
+    def test_storage_trace_and_audit_replay_identically(self):
+        assert storage_payload(17) == storage_payload(17)
+
+
+class TestDifferentSeedDiverges:
+    def test_churn_experiment_diverges(self):
+        assert churn_payload(11) != churn_payload(12)
+
+    def test_storage_trace_diverges(self):
+        assert storage_payload(17) != storage_payload(18)

@@ -16,9 +16,10 @@ from tests.conftest import build_past, fill_network
 
 
 class TestTracePlayback:
-    def test_web_trace_to_saturation_with_invariants(self):
+    def test_web_trace_to_saturation_with_invariants(self, audited):
         config = PastConfig(l=16, k=3, seed=200, cache_policy="none")
         net = PastNetwork(config)
+        audited(net)
         rng = random.Random(200)
         net.build(D1.sample(50, rng, scale=0.05))
         workload = WebProxyWorkload(
@@ -39,8 +40,9 @@ class TestTracePlayback:
         report = audit(net)
         assert report.ok, report.violations[:5]
 
-    def test_every_successful_insert_is_retrievable(self):
+    def test_every_successful_insert_is_retrievable(self, audited):
         net = build_past(n=30, capacity=1_000_000, k=3, seed=201)
+        audited(net)
         rng = random.Random(201)
         fids = fill_network(net, rng, target_util=0.90, max_size=200_000)
         misses = [
@@ -49,8 +51,9 @@ class TestTracePlayback:
         ]
         assert not misses
 
-    def test_mixed_operations_interleaved(self):
+    def test_mixed_operations_interleaved(self, audited):
         net = build_past(n=30, capacity=2_000_000, k=3, seed=202, cache_policy="gds")
+        audited(net)
         rng = random.Random(202)
         owner = net.create_client("o")
         live_fids = []
@@ -71,10 +74,11 @@ class TestTracePlayback:
                 assert net.reclaim(fid, owner, origin).success
         assert audit(net).ok
 
-    def test_storage_invariants_under_random_churn(self):
+    def test_storage_invariants_under_random_churn(self, audited):
         """The paper's own verification: invariants hold despite random
         node failures and recoveries (§5)."""
         net = build_past(n=40, capacity=2_000_000, k=3, l=16, seed=203)
+        audited(net)
         rng = random.Random(203)
         fids = fill_network(net, rng, target_util=0.5, max_size=150_000)
         failed = []
@@ -105,8 +109,9 @@ class TestTracePlayback:
 
 
 class TestQuotaEndToEnd:
-    def test_quota_limits_aggregate_demand(self):
+    def test_quota_limits_aggregate_demand(self, audited):
         net = build_past(n=20, capacity=5_000_000, k=3, seed=204)
+        audited(net)
         owner = net.create_client("capped", quota=300_000)
         inserted = 0
         for i in range(20):
@@ -122,10 +127,11 @@ class TestQuotaEndToEnd:
 
 
 class TestLocality:
-    def test_lookup_hops_bounded_by_log(self):
+    def test_lookup_hops_bounded_by_log(self, audited):
         import math
 
         net = build_past(n=60, capacity=2_000_000, k=3, l=16, seed=205)
+        audited(net)
         rng = random.Random(205)
         fids = fill_network(net, rng, target_util=0.3, max_size=100_000)
         bound = math.ceil(math.log(60, 16)) + 1
@@ -135,8 +141,9 @@ class TestLocality:
             hops.append(res.hops)
         assert sum(hops) / len(hops) <= bound
 
-    def test_replica_set_spread_over_distinct_nodes(self):
+    def test_replica_set_spread_over_distinct_nodes(self, audited):
         net = build_past(n=40, capacity=2_000_000, k=5, l=16, seed=206)
+        audited(net)
         owner = net.create_client("o")
         res = net.insert("spread", owner, 10_000, net.nodes()[0].node_id)
         key = idspace.routing_key(res.file_id)

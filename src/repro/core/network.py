@@ -250,14 +250,16 @@ class PastNetwork:
             depth = idspace.shared_prefix_length(hop.node_id, pastry_node.node_id, net.b)
             for row in range(min(depth + 1, pastry_node.routing_table.rows)):
                 pastry_node.routing_table.install_row(row, hop.routing_table.row(row))
-        for member in pastry_node.leafset.members():
+        for member in sorted(pastry_node.leafset.members()):
             pastry_node.routing_table.consider(member)
         net._register(pastry_node)
         contacts = set(pastry_node.leafset.members())
         contacts.update(pastry_node.routing_table.entries())
         contacts.update(pastry_node.neighborhood)
         contacts.update(p.node_id for p in path_nodes)
-        for contact_id in contacts:
+        # Sorted: learn() can cascade into repairs and RPCs, so the
+        # announcement order must not depend on set iteration order.
+        for contact_id in sorted(contacts):
             contact = net.get_live(contact_id)
             if contact is not None:
                 contact.learn(pastry_node.node_id)

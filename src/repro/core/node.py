@@ -238,7 +238,9 @@ class PastNode(PastryApplication):
         exclude = set(replica_set)
         exclude.add(self.node_id)
         candidates = []
-        for member_id in self.leafset.members():
+        # Sorted: the candidate order feeds rng.choice under the "random"
+        # ablation policy, so it must be hashseed-independent.
+        for member_id in sorted(self.leafset.members()):
             if member_id in exclude:
                 continue
             member = self.network.past_node_or_none(member_id)
@@ -305,7 +307,7 @@ class PastNode(PastryApplication):
             if target is not None:
                 replica = target.store.drop_replica(file_id)
                 if replica is not None:
-                    for ref in replica.referrers:
+                    for ref in sorted(replica.referrers):
                         if ref != self.node_id:
                             ref_node = self.network.past_node_or_none(ref)
                             if ref_node is not None:
@@ -754,7 +756,7 @@ class PastNode(PastryApplication):
             self.store.store_replica(cert, diverted=False)
             dropped = target.store.drop_replica(fid)
             if dropped is not None:
-                for ref in dropped.referrers:
+                for ref in sorted(dropped.referrers):
                     if ref == self.node_id:
                         continue
                     ref_node = self.network.past_node_or_none(ref)

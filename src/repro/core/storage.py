@@ -27,7 +27,7 @@ primaries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from ..security import FileCertificate
 from .cache import CacheManager, make_policy
@@ -190,12 +190,16 @@ class LocalStore:
         """Replica or diversion pointer present — satisfies the k-invariant."""
         return self.holds_file(file_id) or file_id in self.pointers
 
-    def file_ids(self) -> Iterable[int]:
-        """All fileIds this node is responsible for (replicas + pointers)."""
+    def file_ids(self) -> List[int]:
+        """All fileIds this node is responsible for (replicas + pointers).
+
+        Returned sorted: callers iterate this to drive repairs, so the
+        order must not depend on set iteration order.
+        """
         seen = set(self.primaries)
         seen.update(self.diverted_in)
         seen.update(self.pointers)
-        return seen
+        return sorted(seen)
 
     def certificate_for(self, file_id: int) -> Optional[FileCertificate]:
         replica = self.get_replica(file_id)

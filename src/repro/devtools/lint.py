@@ -36,6 +36,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule names to run (default: all)",
     )
     parser.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule names to skip (applied after --select)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
@@ -49,7 +53,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{rule.name:24} {rule.description}")
         return 0
     try:
-        rules = get_rules(args.select.split(",") if args.select else None)
+        rules = get_rules(
+            args.select.split(",") if args.select else None,
+            args.ignore.split(",") if args.ignore else None,
+        )
         modules = collect_modules(args.paths)
         findings = run_rules(modules, rules)
     except LintError as exc:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..framework import LintError, Rule
+from ..flow.rules import OrderingHazardRule, RngDisciplineRule, SharedMutableStateRule
 from .determinism import BuiltinHashRule, GlobalRandomRule, UnseededRandomRule, WallClockRule
 from .layering import LayeringRule
 from .protocol import ProtocolCompletenessRule
@@ -21,6 +22,9 @@ def all_rules() -> List[Rule]:
         SimPurityRule(),
         LayeringRule(),
         ProtocolCompletenessRule(),
+        OrderingHazardRule(),
+        RngDisciplineRule(),
+        SharedMutableStateRule(),
     ]
 
 
@@ -28,19 +32,31 @@ def all_rules() -> List[Rule]:
 ALL_RULES: List[Rule] = all_rules()
 
 
-def get_rules(names: Optional[Sequence[str]] = None) -> List[Rule]:
-    """Resolve a ``--select`` list to rule instances (all rules if None)."""
+def get_rules(
+    names: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Resolve ``--select``/``--ignore`` lists to rule instances.
+
+    ``names`` limits the run to the named rules (all rules when None);
+    ``ignore`` then removes rules from that selection.  Unknown names in
+    either list raise :class:`LintError`.
+    """
     rules = all_rules()
-    if names is None:
-        return rules
     by_name = {rule.name: rule for rule in rules}
-    selected = []
-    for name in names:
+
+    def _lookup(name: str) -> Rule:
         if name not in by_name:
             known = ", ".join(sorted(by_name))
             raise LintError(f"unknown rule {name!r} (known rules: {known})")
-        selected.append(by_name[name])
-    return selected
+        return by_name[name]
+
+    if names is not None:
+        rules = [_lookup(name) for name in names]
+    if ignore:
+        dropped = {_lookup(name).name for name in ignore}
+        rules = [rule for rule in rules if rule.name not in dropped]
+    return rules
 
 
 __all__ = [
@@ -48,7 +64,10 @@ __all__ = [
     "BuiltinHashRule",
     "GlobalRandomRule",
     "LayeringRule",
+    "OrderingHazardRule",
     "ProtocolCompletenessRule",
+    "RngDisciplineRule",
+    "SharedMutableStateRule",
     "SimPurityRule",
     "UnseededRandomRule",
     "WallClockRule",

@@ -2,10 +2,12 @@
 
 The dependency DAG (low to high)::
 
-    security, netsim, erasure, workloads, analysis, devtools   (leaves)
+    security, netsim, erasure, workloads, analysis   (leaves)
     pastry        -> netsim, security
     core          -> pastry, netsim, security
     client        -> core, erasure, security, pastry, netsim
+    devtools      -> netsim, pastry, core   (the sanitize harness drives
+                     a scenario; the static rules import nothing)
     experiments   -> core, pastry, netsim, security, workloads,
                      erasure, analysis, client
     cli / __main__ / top-level repro  (application shell: anything)
@@ -31,7 +33,7 @@ LAYER_DEPS: Mapping[str, FrozenSet[str]] = {
     "erasure": frozenset(),
     "workloads": frozenset(),
     "analysis": frozenset(),
-    "devtools": frozenset(),
+    "devtools": frozenset({"netsim", "pastry", "core"}),
     "pastry": frozenset({"netsim", "security"}),
     "core": frozenset({"pastry", "netsim", "security"}),
     "client": frozenset({"core", "erasure", "security", "pastry", "netsim"}),

@@ -10,14 +10,21 @@ metric, and message accounting.
 from .topology import Coordinate, SphereTopology, TorusTopology, ClusteredTopology
 from .stats import MessageStats
 from .latency import LatencyModel, PAPER_PER_HOP_MS, percentiles
+from .eventsim import EventHandle, EventSimulator, PeriodicTimer
+from .trace import ScheduleTrace, TraceEvent
 
 __all__ = [
     "Coordinate",
     "SphereTopology",
     "TorusTopology",
     "ClusteredTopology",
+    "EventHandle",
+    "EventSimulator",
     "MessageStats",
     "LatencyModel",
     "PAPER_PER_HOP_MS",
+    "PeriodicTimer",
+    "ScheduleTrace",
+    "TraceEvent",
     "percentiles",
 ]

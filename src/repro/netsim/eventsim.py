@@ -17,8 +17,24 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Optional
+
+from .trace import ScheduleTrace
+
+
+def _call_site() -> str:
+    """``file.py:lineno`` of the nearest caller outside this module."""
+    own_file = __file__
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_code.co_filename == own_file:
+        frame = frame.f_back
+    if frame is None:
+        return "?"
+    filename = os.path.basename(frame.f_code.co_filename)
+    return f"{filename}:{frame.f_lineno}"
 
 
 @dataclass(frozen=True)
@@ -30,14 +46,24 @@ class EventHandle:
 
 
 class EventSimulator:
-    """A priority-queue discrete-event loop with virtual time."""
+    """A priority-queue discrete-event loop with virtual time.
 
-    def __init__(self, start_time: float = 0.0):
+    Pass ``trace=ScheduleTrace()`` (or set ``REPRO_SANITIZE=1`` in the
+    environment) to record a digest trace of every executed event; see
+    :mod:`repro.netsim.trace` and ``python -m repro.devtools.sanitize``.
+    """
+
+    def __init__(self, start_time: float = 0.0, trace: Optional[ScheduleTrace] = None):
         self.now = start_time
         self._heap = []  # (time, seq, callback)
         self._seq = itertools.count()
         self._cancelled = set()
+        #: seqs currently in the heap; bounds _cancelled (see cancel()).
+        self._pending = set()
         self.events_run = 0
+        if trace is None and os.environ.get("REPRO_SANITIZE"):
+            trace = ScheduleTrace()
+        self.trace = trace
 
     # ------------------------------------------------------------ schedule
 
@@ -53,11 +79,20 @@ class EventSimulator:
             raise ValueError("cannot schedule into the past")
         seq = next(self._seq)
         heapq.heappush(self._heap, (when, seq, callback))
+        self._pending.add(seq)
+        if self.trace is not None:
+            self.trace.record_schedule(seq, _call_site())
         return EventHandle(when, seq)
 
     def cancel(self, handle: EventHandle) -> None:
-        """Cancel a scheduled event (no-op if it already ran)."""
-        self._cancelled.add(handle.seq)
+        """Cancel a scheduled event (no-op if it already ran).
+
+        Only seqs still in the heap enter ``_cancelled``; cancelling an
+        event that already ran, or cancelling twice, is a no-op, so the
+        set can never outgrow the heap.
+        """
+        if handle.seq in self._pending:
+            self._cancelled.add(handle.seq)
 
     def every(
         self,
@@ -79,10 +114,13 @@ class EventSimulator:
         """Run the next event; returns False when the queue is empty."""
         while self._heap:
             when, seq, callback = heapq.heappop(self._heap)
+            self._pending.discard(seq)
             if seq in self._cancelled:
                 self._cancelled.discard(seq)
                 continue
             self.now = when
+            if self.trace is not None:
+                self.trace.record_event(when, seq, callback)
             callback()
             self.events_run += 1
             return True

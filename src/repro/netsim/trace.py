@@ -1,0 +1,118 @@
+"""Schedule-trace instrumentation for the event simulator.
+
+When an :class:`~repro.netsim.eventsim.EventSimulator` is constructed
+with ``trace=ScheduleTrace()`` (or with ``REPRO_SANITIZE=1`` in the
+environment) it records, for every event that runs, a
+``(time, seq, callback qualname)`` triple plus the source location that
+*scheduled* it.  Two digests summarise a run:
+
+* ``digest()`` — one hex digest over the whole event sequence; equal
+  digests mean equal trajectories.
+* ``digests`` — the *cumulative* digest after each event.  Because each
+  entry extends the previous one, the first index where two runs'
+  cumulative digests differ is exactly the first divergent event; the
+  sanitizer harness (:mod:`repro.devtools.sanitize`) binary-searches
+  this list to localise a nondeterminism bug to a single event and its
+  scheduling call site.
+
+The digest covers ``(time, seq, label)`` only — *not* the scheduling
+site — so cosmetic refactors of the scheduling code do not change the
+digest, while any reordering of the executed events does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed event, in execution order."""
+
+    index: int
+    time: float
+    seq: int
+    callback: str
+    #: ``file.py:lineno`` of the schedule_at() caller, "?" if unknown.
+    site: str
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "time": self.time,
+            "seq": self.seq,
+            "callback": self.callback,
+            "site": self.site,
+        }
+
+
+def callback_label(callback) -> str:
+    """A stable, address-free name for a scheduled callable."""
+    label = getattr(callback, "__qualname__", None)
+    if label is None:
+        label = type(callback).__name__
+    return label
+
+
+class ScheduleTrace:
+    """Digest trace of every event an instrumented simulator runs."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        #: cumulative hex digest after each event (same length as events).
+        self.digests: List[str] = []
+        self._hash = hashlib.sha256()
+        #: seq -> scheduling call site, recorded at schedule time.
+        self._sites: Dict[int, str] = {}
+
+    # ----------------------------------------------------------- recording
+
+    def record_schedule(self, seq: int, site: str) -> None:
+        self._sites[seq] = site
+
+    def record_event(self, time: float, seq: int, callback) -> None:
+        label = callback_label(callback)
+        site = self._sites.pop(seq, "?")
+        event = TraceEvent(
+            index=len(self.events), time=time, seq=seq,
+            callback=label, site=site,
+        )
+        self.events.append(event)
+        self._hash.update(f"{time!r}|{seq}|{label}\n".encode())
+        self.digests.append(self._hash.hexdigest())
+
+    # ------------------------------------------------------------- queries
+
+    def digest(self) -> str:
+        """Digest of the whole run so far (digest of zero events is stable)."""
+        return self.digests[-1] if self.digests else self._hash.hexdigest()
+
+    def unfixed_ties(self) -> List[List[TraceEvent]]:
+        """Same-timestamp runs whose order FIFO seq did not determine.
+
+        Events scheduled from the *same* call site at the same time run
+        in their (deterministic) scheduling order; a tie among events
+        scheduled from two or more different sites is only as stable as
+        the code paths that scheduled them, so it is worth surfacing.
+        """
+        suspicious: List[List[TraceEvent]] = []
+        group: List[TraceEvent] = []
+        for event in self.events:
+            if group and event.time == group[-1].time:
+                group.append(event)
+                continue
+            if len(group) >= 2 and len({e.site for e in group}) >= 2:
+                suspicious.append(group)
+            group = [event]
+        if len(group) >= 2 and len({e.site for e in group}) >= 2:
+            suspicious.append(group)
+        return suspicious
+
+    def to_dict(self) -> dict:
+        return {
+            "digest": self.digest(),
+            "digests": list(self.digests),
+            "events": [e.to_dict() for e in self.events],
+        }

@@ -83,7 +83,9 @@ class KeepAliveMonitor:
             self.unwatch(observer_id)
             return
         now = self.sim.now
-        for peer_id in observer.leafset.members():
+        # Sorted: on_detect can trigger repairs, so detection order within
+        # a probe round must not depend on set iteration order.
+        for peer_id in sorted(observer.leafset.members()):
             self.probes_sent += 1
             key = (observer_id, peer_id)
             if self.pastry.is_live(peer_id):

@@ -20,9 +20,11 @@ class LeafSet:
 
     The set is maintained as a plain member set plus derived, lazily
     recomputed views of the ``l/2`` clockwise (larger) and ``l/2``
-    counterclockwise (smaller) sides.  When fewer than ``l`` other nodes
-    exist the leaf set simply contains all of them and the node has global
-    knowledge of the ring.
+    counterclockwise (smaller) sides.  As long as no member has ever been
+    trimmed, the leaf set contains every node it was told about and the
+    node has global knowledge of the ring; once a side overflows and
+    drops a member, that guarantee is gone for good (the identity of the
+    dropped node is forgotten), which :meth:`covers` must account for.
     """
 
     def __init__(self, owner_id: int, l: int):
@@ -34,6 +36,7 @@ class LeafSet:
         self._dirty = True
         self._smaller: List[int] = []  # sorted by ccw distance from owner, nearest first
         self._larger: List[int] = []  # sorted by cw distance from owner, nearest first
+        self._ever_trimmed = False
 
     # ------------------------------------------------------------------ views
 
@@ -63,6 +66,8 @@ class LeafSet:
         # Nodes on neither side are no longer leaf-set members; drop them so
         # the set does not grow without bound as the ring fills in.
         keep = set(self._larger) | set(self._smaller)
+        if len(keep) != len(self._members):
+            self._ever_trimmed = True
         self._members = keep
         self._dirty = False
 
@@ -138,14 +143,25 @@ class LeafSet:
         Pastry's routing rule: if the key is between the farthest-smaller
         and farthest-larger leaf-set members (passing through the owner),
         the message is forwarded directly to the numerically closest leaf
-        (or delivered, if the owner is closest).  A non-full leaf set means
-        the node knows the entire ring, which also counts as coverage.
+        (or delivered, if the owner is closest).  A non-full leaf set that
+        has never trimmed a member holds every node it was ever told
+        about — global knowledge of a small ring — which also counts as
+        coverage.
+
+        A non-full leaf set that *has* trimmed is a different story: when
+        more than ``l/2`` nodes sit on one side of the ring, that side
+        overflows (forgetting the far ones) while the other side can stay
+        empty.  Claiming coverage then would make routing deliver at a
+        node that merely cannot see anything closer, stranding keys away
+        from their numerically closest node — so such a leaf set only
+        covers its actual arc, with an empty side's extreme standing at
+        the owner.
         """
         self._recompute()
-        if not self.is_full():
+        if not self.is_full() and not self._ever_trimmed:
             return True
-        low = self._smaller[-1]
-        high = self._larger[-1]
+        low = self._smaller[-1] if self._smaller else self.owner_id
+        high = self._larger[-1] if self._larger else self.owner_id
         # Arc from `low` clockwise to `high` passes through owner.
         span = idspace.clockwise_distance(low, high)
         offset = idspace.clockwise_distance(low, key)

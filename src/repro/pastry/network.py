@@ -190,9 +190,12 @@ class PastryNetwork:
         path_nodes = [self._nodes[i] for i in result.path]
         terminus = path_nodes[-1]
 
-        # Leaf set from Z (the numerically closest existing node).
+        # Leaf set from Z (the numerically closest existing node), then
+        # completed by exchanging leaf sets with the members found there —
+        # Z alone cannot always supply both sides (see exchange_leafsets).
         node.leafset.add(terminus.node_id)
         node.leafset.add_all(terminus.leafset.members())
+        node.exchange_leafsets()
         # Neighborhood set from A (the proximity-nearby contact).
         node.consider_neighbor(seed.node_id)
         for n_id in seed.neighborhood:
@@ -204,7 +207,7 @@ class PastryNetwork:
             depth = idspace.shared_prefix_length(hop.node_id, node.node_id, self.b)
             for row in range(min(depth + 1, node.routing_table.rows)):
                 node.routing_table.install_row(row, hop.routing_table.row(row))
-        for member in node.leafset.members():
+        for member in sorted(node.leafset.members()):
             node.routing_table.consider(member)
 
         self._register(node)
@@ -212,11 +215,13 @@ class PastryNetwork:
 
         # Announce arrival to every node that appears in the new node's
         # state, restoring Pastry's invariants (O(log N) messages).
+        # Sorted: learn() mutates peer state, so the announcement order
+        # must not depend on set iteration order.
         contacts = set(node.leafset.members())
         contacts.update(node.routing_table.entries())
         contacts.update(node.neighborhood)
         contacts.update(p.node_id for p in path_nodes)
-        for contact_id in contacts:
+        for contact_id in sorted(contacts):
             contact = self._nodes.get(contact_id)
             if contact is not None:
                 contact.learn(node.node_id)
@@ -338,18 +343,19 @@ class PastryNetwork:
         if node is None:
             raise KeyError(f"node {node_id} is not failed")
         node.alive = True
-        old_members = list(node.leafset.members())
+        old_members = sorted(node.leafset.members())
         node.leafset = type(node.leafset)(node.node_id, self.l)
         for member_id in old_members:
             donor = self._nodes.get(member_id)
             if donor is None:
                 continue
             node.leafset.add(member_id)
-            for m in donor.leafset.members():
+            for m in sorted(donor.leafset.members()):
                 if self.is_live(m):
                     node.leafset.add(m)
+        node.exchange_leafsets()
         self._register(node)
-        for member_id in node.leafset.members():
+        for member_id in sorted(node.leafset.members()):
             member = self._nodes.get(member_id)
             if member is not None:
                 member.learn(node_id)

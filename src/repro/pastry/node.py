@@ -156,9 +156,39 @@ class PastryNode:
             donor = self.network.get_live(donor_id)
             if donor is None:
                 continue
-            for member in donor.leafset.members() | {donor_id}:
+            for member in sorted(donor.leafset.members() | {donor_id}):
                 if self.network.is_live(member):
                     self.leafset.add(member)
+
+    def exchange_leafsets(self) -> int:
+        """Pull the leaf sets of current members until ours stops changing.
+
+        One pull from the numerically closest node is *not* always enough
+        to complete a leaf set: when more than ``l/2`` nodes cluster on
+        one arc of the ring, every node near the cluster's edge has
+        trimmed the far edge from its own leaf set, so a newcomer seeded
+        from a single donor can be blind to live nodes that belong in its
+        set.  Adjacent leaf sets overlap, so walking the membership to a
+        fixpoint recovers them; each round either brings a strictly
+        nearer node onto a side or terminates, so the loop converges.
+
+        Returns the number of leaf-set pull RPCs issued.
+        """
+        pulls = 0
+        for _ in range(self.l):
+            before = self.leafset.members()
+            for donor_id in sorted(before):
+                donor = self.network.get_live(donor_id)
+                if donor is None:
+                    continue
+                pulls += 1
+                self.network.stats.record_rpc()
+                for member in sorted(donor.leafset.members()):
+                    if self.network.is_live(member):
+                        self.leafset.add(member)
+            if self.leafset.members() == before:
+                break
+        return pulls
 
     # -------------------------------------------------------------- routing
 
@@ -192,9 +222,11 @@ class PastryNode:
                 # member strictly closer to the key keeps the route
                 # loop-free, and varying the final hops is what lets a
                 # retry go around a malicious node parked next to the key.
+                # Sorted: the index drawn from rng below must select the
+                # same member regardless of set iteration order.
                 alternates = [
                     m
-                    for m in self.leafset.members()
+                    for m in sorted(self.leafset.members())
                     if idspace.is_strictly_closer(m, self.node_id, key)
                     and self.network.is_live(m)
                 ]

@@ -155,3 +155,47 @@ class TestCli:
         dirty.write_text("import random\n\nrng = random.Random()\n")
         proc = self._run(str(dirty), "--select", "builtin-hash")
         assert proc.returncode == 0
+
+    def test_select_multiple_rules(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n\nrng = random.Random()\n")
+        proc = self._run(
+            str(dirty), "--select", "builtin-hash,unseeded-random",
+            "--format", "json",
+        )
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "unseeded-random"
+
+    def test_ignore_skips_named_rule(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n\nrng = random.Random()\n")
+        proc = self._run(str(dirty), "--ignore", "unseeded-random")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 findings" in proc.stdout
+
+    def test_ignore_composes_with_select(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n\nrng = random.Random()\n")
+        proc = self._run(
+            str(dirty),
+            "--select", "unseeded-random,builtin-hash",
+            "--ignore", "unseeded-random",
+        )
+        assert proc.returncode == 0
+        assert "0 findings" in proc.stdout
+
+    def test_ignore_unknown_rule_exits_two(self):
+        proc = self._run("--ignore", "no-such-rule", "src")
+        assert proc.returncode == 2
+        assert "unknown rule" in proc.stderr
+
+    def test_get_rules_ignore_api(self):
+        from repro.devtools.rules import all_rules
+
+        names = {rule.name for rule in get_rules(ignore=["flow-shared-state"])}
+        assert "flow-shared-state" not in names
+        assert len(names) == len(all_rules()) - 1
+        with pytest.raises(LintError):
+            get_rules(ignore=["nope"])

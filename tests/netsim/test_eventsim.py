@@ -3,6 +3,7 @@
 import pytest
 
 from repro.netsim.eventsim import EventSimulator, PeriodicTimer
+from repro.netsim.trace import ScheduleTrace
 
 
 class TestScheduling:
@@ -87,6 +88,165 @@ class TestScheduling:
             sim.run(max_events=100)
 
 
+class TestEdgeCases:
+    def test_same_time_fifo_under_heap_churn(self):
+        # Interleave out-of-order schedules and cancellations so the heap
+        # reorders internally; same-time events must still run in the
+        # order they were scheduled.
+        sim = EventSimulator()
+        order = []
+        sim.schedule(5.0, lambda: order.append("t5-a"))
+        doomed = sim.schedule(5.0, lambda: order.append("doomed"))
+        sim.schedule(1.0, lambda: order.append("t1"))
+        sim.schedule(5.0, lambda: order.append("t5-b"))
+        sim.cancel(doomed)
+        sim.schedule(3.0, lambda: order.append("t3"))
+        sim.schedule(5.0, lambda: order.append("t5-c"))
+        sim.run()
+        assert order == ["t1", "t3", "t5-a", "t5-b", "t5-c"]
+
+    def test_run_until_exactly_at_tie_boundary(self):
+        # Every event at the deadline runs — including ties and an event
+        # a same-time callback schedules *at* the deadline — while events
+        # strictly after it stay queued.
+        sim = EventSimulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule_at(2.0, lambda: order.append("nested-at-deadline"))
+
+        sim.schedule_at(2.0, first)
+        sim.schedule_at(2.0, lambda: order.append("tied"))
+        sim.schedule_at(2.0000001, lambda: order.append("after"))
+        sim.run_until(2.0)
+        assert order == ["first", "tied", "nested-at-deadline"]
+        assert sim.now == 2.0
+        assert sim.pending() == 1
+
+    def test_cancel_inside_callback(self):
+        sim = EventSimulator()
+        order = []
+        handles = {}
+
+        def first():
+            order.append("first")
+            sim.cancel(handles["b"])
+
+        sim.schedule(1.0, first)
+        handles["b"] = sim.schedule(1.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["first"]
+        assert sim._cancelled == set()
+        assert sim._pending == set()
+
+
+class TestCancelBookkeeping:
+    def test_cancelled_stays_bounded_under_cancel_heavy_workload(self):
+        # Regression: cancel-after-run and double-cancel used to leave
+        # seqs in _cancelled forever.
+        sim = EventSimulator()
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(200)]
+        sim.run()
+        for handle in handles:  # cancel-after-run: all no-ops
+            sim.cancel(handle)
+        assert len(sim._cancelled) == 0
+        live = sim.schedule(1.0, lambda: None)
+        for _ in range(50):  # double-cancel: one entry, not fifty
+            sim.cancel(live)
+        assert len(sim._cancelled) == 1
+        sim.run()
+        assert len(sim._cancelled) == 0
+        assert len(sim._pending) == 0
+
+    def test_cancelled_never_exceeds_pending(self):
+        sim = EventSimulator()
+        for round_ in range(20):
+            handles = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+            for handle in handles[::2]:
+                sim.cancel(handle)
+            assert len(sim._cancelled) <= len(sim._pending)
+            sim.run()
+            assert sim._cancelled == set()
+            assert sim._pending == set()
+
+
+class TestScheduleTrace:
+    def test_trace_records_executed_events(self):
+        trace = ScheduleTrace()
+        sim = EventSimulator(trace=trace)
+
+        def tick():
+            pass
+
+        sim.schedule(1.0, tick)
+        sim.schedule(2.0, tick)
+        sim.run()
+        assert [e.time for e in trace.events] == [1.0, 2.0]
+        assert [e.seq for e in trace.events] == [0, 1]
+        assert all("tick" in e.callback for e in trace.events)
+        assert all(e.site.startswith("test_eventsim.py:") for e in trace.events)
+        assert len(trace.digests) == 2
+        assert trace.digest() == trace.digests[-1]
+
+    def test_identical_schedules_produce_identical_digests(self):
+        def run():
+            trace = ScheduleTrace()
+            sim = EventSimulator(trace=trace)
+            sim.schedule(1.0, lambda: None)
+            sim.schedule(2.0, lambda: None)
+            sim.run()
+            return trace.digest()
+
+        assert run() == run()
+
+    def test_different_order_produces_different_digest(self):
+        def run(first_delay, second_delay):
+            trace = ScheduleTrace()
+            sim = EventSimulator(trace=trace)
+            sim.schedule(first_delay, lambda: None)
+            sim.schedule(second_delay, lambda: None)
+            sim.run()
+            return trace.digest()
+
+        assert run(1.0, 2.0) != run(2.0, 1.0)
+
+    def test_cancelled_events_leave_no_trace(self):
+        trace = ScheduleTrace()
+        sim = EventSimulator(trace=trace)
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(handle)
+        sim.run()
+        assert len(trace.events) == 1
+
+    def test_env_variable_enables_tracing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        sim = EventSimulator()
+        assert sim.trace is not None
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert len(sim.trace.events) == 1
+
+    def test_unfixed_ties_require_distinct_sites(self):
+        trace = ScheduleTrace()
+        sim = EventSimulator(trace=trace)
+        # Same site in a loop: seq order fully determined by the loop.
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert trace.unfixed_ties() == []
+
+        trace2 = ScheduleTrace()
+        sim2 = EventSimulator(trace=trace2)
+        sim2.schedule(1.0, lambda: None)  # site A
+        sim2.schedule(1.0, lambda: None)  # site B
+        sim2.run()
+        ties = trace2.unfixed_ties()
+        assert len(ties) == 1
+        assert len(ties[0]) == 2
+
+
 class TestPeriodicTimer:
     def test_fires_at_period(self):
         sim = EventSimulator()
@@ -124,6 +284,25 @@ class TestPeriodicTimer:
         sim = EventSimulator()
         with pytest.raises(ValueError):
             PeriodicTimer(sim, 0.0, lambda: None)
+
+    def test_negative_jitter_is_clamped(self):
+        # Jitter that would drive the delay to zero or negative is clamped
+        # to a tiny positive delay: time still advances and no
+        # cannot-schedule-into-the-past error is raised.
+        sim = EventSimulator()
+        timer = sim.every(1.0, lambda: None, jitter_fn=lambda: -5.0)
+        for _ in range(10):
+            assert sim.step()
+        assert timer.fires == 10
+        assert sim.now > 0.0
+        timer.stop()
+
+    def test_mild_negative_jitter_shortens_period(self):
+        sim = EventSimulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), jitter_fn=lambda: -0.5)
+        sim.run_until(2.0)
+        assert ticks == pytest.approx([0.5, 1.0, 1.5, 2.0])
 
 
 class TestRecoveryExperiment:

@@ -169,3 +169,58 @@ class TestRecovery:
             key = rng.getrandbits(idspace.ID_BITS)
             result = net.route(net.random_node(rng).node_id, key)
             assert result.terminus == net.numerically_closest_live(key)
+
+
+class TestClusteredRingJoin:
+    """Regression: joins into a ring whose live nodes cluster on one arc.
+
+    Heavy failures can leave every survivor on one side of the namespace.
+    Nodes near the cluster's edge then trim the far edge from their leaf
+    sets (the other side staying empty), so a newcomer seeded only from
+    its join terminus was blind to live nodes that belong in its leaf set
+    and delivered keys at itself while numerically closer nodes existed.
+    The leaf-set exchange at join and the trim-aware ``covers`` fix both
+    halves of that failure.
+    """
+
+    # Two fail/join schedules distilled from hypothesis counterexamples.
+    SCHEDULES = [[124, 0, 0, 182, 2, 1612], [2, 24, 106, 182, 2, 1612]]
+
+    @pytest.mark.parametrize("picks", SCHEDULES)
+    def test_join_into_clustered_ring_restores_invariants(self, picks):
+        net = PastryNetwork(b=4, l=8, seed=99)
+        net.build(12)
+        for pick in picks:
+            ids = net.node_ids
+            net.fail_node(ids[pick % len(ids)])
+        net.join()
+        net.join()
+        net.fail_node(net.node_ids[0])
+
+        # Every node knows the l/2 nearest live nodes on each of its sides.
+        live = sorted(net.node_ids)
+        for nid in live:
+            node = net.node(nid)
+            others = [m for m in live if m != nid]
+            cw = sorted(
+                (m for m in others
+                 if idspace.clockwise_distance(nid, m)
+                 <= idspace.counterclockwise_distance(nid, m)),
+                key=lambda m: idspace.clockwise_distance(nid, m),
+            )
+            ccw = sorted(
+                (m for m in others
+                 if idspace.clockwise_distance(nid, m)
+                 > idspace.counterclockwise_distance(nid, m)),
+                key=lambda m: idspace.counterclockwise_distance(nid, m),
+            )
+            want = set(cw[: net.l // 2]) | set(ccw[: net.l // 2])
+            assert want <= node.leafset.members(), hex(nid)
+
+        # And routing from every node delivers at the closest live node.
+        rng = random.Random(7)
+        for _ in range(40):
+            key = rng.getrandbits(idspace.ID_BITS)
+            for origin in net.node_ids:
+                result = net.route(origin, key)
+                assert result.terminus == net.numerically_closest_live(key)

@@ -86,6 +86,30 @@ class TestCoverage:
         assert not ls.covers(5000)
         assert not ls.covers(500)
 
+    def test_trimmed_one_sided_set_does_not_cover_everything(self):
+        # Regression: more than l/2 nodes clustered clockwise of the
+        # owner overflow the larger side (forgetting node 30) while the
+        # smaller side stays empty.  The set is non-full yet has lost
+        # knowledge, so it must NOT claim the whole ring is covered —
+        # that made routing deliver at nodes that merely could not see
+        # anything closer.
+        ls = make(owner=0, l=4)
+        ls.add_all([10, 20, 30])
+        assert ls.larger == [10, 20] and ls.smaller == []
+        assert not ls.is_full()
+        assert ls.covers(15)          # inside the arc owner..20
+        assert not ls.covers(1000)    # far outside it
+        assert not ls.covers(idspace.ID_SPACE - 50)
+
+    def test_never_trimmed_partial_set_still_covers_everything(self):
+        # A side shrinking below l/2 through removals (without ever
+        # overflowing) keeps the global-knowledge shortcut.
+        ls = make(owner=0, l=4)
+        ls.add_all([10, 20])
+        ls.remove(20)
+        assert not ls.is_full()
+        assert ls.covers(1000) and ls.covers(idspace.ID_SPACE - 50)
+
     def test_extremes(self):
         ls = make(owner=1000, l=4)
         ls.add_all([900, 800, 1100, 1200])

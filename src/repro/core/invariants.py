@@ -15,6 +15,10 @@ audit for tests and examples:
   replica + cache bytes also fit.
 * **accounting** — the network's global byte counters equal the per-node
   sums.
+* **overlay** (opt-in, ``check_overlay=True``) — leaf-set symmetry and
+  leaf-set/routing-table entry liveness at failure-detection fixpoint;
+  used by the schedule explorer (``repro.devtools.explore``) as a
+  quiescence oracle.
 """
 
 from __future__ import annotations
@@ -58,12 +62,25 @@ class AuditReport:
         self.violations.append(Violation(kind, detail))
 
 
-def audit(network: PastNetwork, check_replicas: bool = True) -> AuditReport:
-    """Audit every invariant; returns a report listing all violations."""
+def audit(
+    network: PastNetwork,
+    check_replicas: bool = True,
+    check_overlay: bool = False,
+) -> AuditReport:
+    """Audit every invariant; returns a report listing all violations.
+
+    ``check_overlay`` additionally audits the Pastry overlay itself —
+    leaf-set symmetry and routing-state liveness.  Those properties only
+    hold at a failure-detection *fixpoint* (every crash either detected
+    and propagated, or the node recovered and re-announced), so the flag
+    is opt-in: enable it at quiescence, not mid-churn.
+    """
     report = AuditReport()
     _audit_nodes(network, report)
     if check_replicas:
         _audit_files(network, report)
+    if check_overlay:
+        _audit_overlay(network, report)
     _audit_accounting(network, report)
     return report
 
@@ -152,6 +169,44 @@ def _audit_files(network: PastNetwork, report: AuditReport) -> None:
                     f"file {fid:#x}: two kset entries resolve to the same replica",
                 )
             targets_seen.add(pointer.target_id)
+
+
+def _audit_overlay(network: PastNetwork, report: AuditReport) -> None:
+    """Overlay fixpoint checks: leaf-set symmetry and entry liveness.
+
+    * every leaf-set member is a live node — a dead entry means a
+      keep-alive expiry was never processed;
+    * leaf-set membership is symmetric: the j-th clockwise successor
+      relationship is mirrored as the j-th counterclockwise predecessor,
+      so if A lists a live B then B must list A once both have converged
+      on the same live ring;
+    * every routing-table entry refers to a live node — witnesses purge
+      failed entries eagerly and recovered nodes re-announce, so at
+      fixpoint (all crashed nodes recovered or their failure propagated)
+      no stale entry should survive.
+    """
+    pastry = network.pastry
+    for node in pastry.nodes():
+        for peer_id in sorted(node.leafset.members()):
+            peer = pastry.get_live(peer_id)
+            if peer is None:
+                report.add(
+                    "overlay",
+                    f"node {node.node_id:#x} leaf set lists dead node {peer_id:#x}",
+                )
+                continue
+            if node.node_id not in peer.leafset.members():
+                report.add(
+                    "overlay",
+                    f"leaf-set asymmetry: {node.node_id:#x} lists {peer_id:#x} "
+                    f"but not vice versa",
+                )
+        for entry in sorted(node.routing_table.entries()):
+            if not pastry.is_live(entry):
+                report.add(
+                    "overlay",
+                    f"node {node.node_id:#x} routing table entry {entry:#x} is dead",
+                )
 
 
 def _audit_accounting(network: PastNetwork, report: AuditReport) -> None:

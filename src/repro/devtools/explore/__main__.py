@@ -1,0 +1,169 @@
+"""CLI for the bounded schedule explorer.
+
+``python -m repro.devtools.explore --scenario churn --budget 200``
+
+Exit status: 0 when every explored schedule satisfies the oracles, 1
+when a counterexample was found (or a replayed schedule violates), 2
+for usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .explorer import Explorer, format_decisions, parse_decisions
+from .oracles import check_quiescence
+from .scenarios import SCENARIOS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.explore",
+        description=(
+            "Enumerate alternative orderings of co-enabled simulator events "
+            "and check the storage/overlay invariants at quiescence."
+        ),
+    )
+    parser.add_argument(
+        "--scenario", choices=sorted(SCENARIOS), default="churn",
+        help="scenario to explore (default: churn)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=50,
+        help="maximum number of schedules to execute (default: 50)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="scenario seed")
+    parser.add_argument(
+        "--window", type=float, default=0.0,
+        help=(
+            "commutation window: events within this much of the earliest "
+            "pending timestamp are co-enabled (default: 0, same-time only)"
+        ),
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="collect every counterexample instead of stopping at the first",
+    )
+    parser.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip delta-debugging minimization of counterexamples",
+    )
+    parser.add_argument(
+        "--replay", metavar="DECISIONS",
+        help=(
+            "replay one schedule from a decision string "
+            "('v1:<seed>:<i0.i1...>'; pair with the same --scenario and "
+            "--window it was found under) instead of exploring"
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a machine-readable JSON report",
+    )
+    return parser
+
+
+def _replay(args) -> int:
+    explorer = Explorer(
+        SCENARIOS[args.scenario], seed=0, window=args.window
+    )
+    try:
+        seed, plan = parse_decisions(args.replay)
+    except ValueError as exc:
+        print(f"explore: error: {exc}", file=sys.stderr)
+        return 2
+    explorer.seed = seed
+    run = explorer.execute(plan)
+    violations = check_quiescence(run)
+    payload = {
+        "scenario": args.scenario,
+        "decisions": format_decisions(seed, plan),
+        "digest": run.trace.digest(),
+        "events": len(run.trace.events),
+        "decision_points": len(run.trace.decisions),
+        "violations": [
+            {"kind": v.kind, "detail": v.detail} for v in violations
+        ],
+    }
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"replayed {payload['decisions']} on scenario "
+            f"{args.scenario!r}: {payload['events']} events, "
+            f"{payload['decision_points']} decision points"
+        )
+        print(f"digest: {payload['digest']}")
+        for violation in violations:
+            print(f"  {violation}")
+        if not violations:
+            print("all quiescence oracles hold")
+    return 1 if violations else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.budget <= 0:
+        print("explore: error: --budget must be positive", file=sys.stderr)
+        return 2
+    if args.replay:
+        return _replay(args)
+
+    explorer = Explorer(
+        SCENARIOS[args.scenario], seed=args.seed, window=args.window
+    )
+    result = explorer.explore(
+        args.budget, stop_on_violation=not args.keep_going
+    )
+    for cex in result.counterexamples:
+        if not args.no_minimize:
+            explorer.minimize(cex)
+
+    if args.as_json:
+        print(json.dumps({
+            "scenario": args.scenario,
+            "seed": result.seed,
+            "budget": result.budget,
+            "schedules_run": result.schedules_run,
+            "unique_schedules": result.unique_schedules,
+            "pruned": result.pruned,
+            "counterexamples": [
+                {
+                    "decisions": c.decisions,
+                    "minimized": c.minimized,
+                    "digest": c.digest,
+                    "events": c.events,
+                    "violations": [
+                        {"kind": v.kind, "detail": v.detail}
+                        for v in c.violations
+                    ],
+                }
+                for c in result.counterexamples
+            ],
+        }, indent=2))
+    else:
+        print(
+            f"scenario {args.scenario!r} (seed {result.seed}): explored "
+            f"{result.schedules_run}/{result.budget} schedules "
+            f"({result.unique_schedules} unique, {result.pruned} branches "
+            f"pruned as independent)"
+        )
+        if result.ok:
+            print("no schedule violated the quiescence oracles")
+        for cex in result.counterexamples:
+            print(f"counterexample ({len(cex.violations)} violations):")
+            for violation in cex.violations:
+                print(f"  {violation}")
+            print(f"  replay:    --scenario {args.scenario} "
+                  f"--window {args.window:g} --replay '{cex.decisions}'")
+            if cex.minimized is not None and cex.minimized != cex.decisions:
+                print(f"  minimized: --scenario {args.scenario} "
+                      f"--window {args.window:g} --replay '{cex.minimized}'")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

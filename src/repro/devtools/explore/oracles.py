@@ -1,0 +1,61 @@
+"""Quiescence oracles: what must hold after any legal schedule.
+
+The explorer checks each executed schedule against properties that are
+*schedule-independent*: however the co-enabled events were ordered, once
+the system is quiescent —
+
+* the storage invariant audit passes, including the overlay checks
+  (leaf-set symmetry, leaf-set/routing-table entry liveness);
+* no verification route raised (routing loops betray corrupted routing
+  state);
+* no message was silently dropped (the scenarios run no malicious
+  nodes, so a dropped route is a lost message);
+* every non-intercepted route was delivered at the live node
+  numerically closest to its key (Pastry's delivery guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ...core.invariants import audit
+from .scenarios import ScenarioRun
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One oracle failure on one executed schedule."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+def check_quiescence(run: ScenarioRun) -> List[OracleViolation]:
+    """Run every oracle against a finished scenario run."""
+    out: List[OracleViolation] = []
+    report = audit(run.net, check_overlay=True)
+    for violation in report.violations:
+        out.append(OracleViolation(f"audit:{violation.kind}", violation.detail))
+    for error in run.routing_errors:
+        out.append(OracleViolation("routing-error", error))
+    for record in run.deliveries:
+        if record.dropped:
+            out.append(OracleViolation(
+                "lost-message",
+                f"route from {record.origin:#x} to {record.key:#x} was dropped",
+            ))
+        elif record.misdelivered:
+            closest = (
+                f"{record.closest_live:#x}"
+                if record.closest_live is not None else "<none>"
+            )
+            out.append(OracleViolation(
+                "misdelivery",
+                f"key {record.key:#x} delivered at {record.terminus:#x} but "
+                f"numerically closest live node is {closest}",
+            ))
+    return out

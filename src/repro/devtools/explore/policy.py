@@ -1,0 +1,44 @@
+"""The explorer's schedule policy: replay a plan, FIFO beyond it.
+
+A *plan* is a list of frontier indices, one per decision point (a step
+where the simulator offered two or more co-enabled events).  The policy
+consumes the plan in order; past its end it always picks index 0, which
+is the FIFO choice — so the empty plan reproduces the simulator's
+default schedule exactly, and a plan of length *n* is "follow the
+recorded schedule for *n* decisions, then let FIFO finish the run".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...netsim.eventsim import SchedulePolicy
+
+
+class PlanPolicy(SchedulePolicy):
+    """Deterministic policy driven by a pre-computed decision plan.
+
+    A plan entry that is out of range for the frontier it meets is
+    clamped to 0 rather than rejected: delta-debugging candidates zero
+    out earlier decisions, which can shrink later frontiers, and the
+    clamp keeps every candidate executable (the run it produces is still
+    deterministic, just no longer the original one).
+    """
+
+    def __init__(self, plan: Sequence[int] = (), window: float = 0.0):
+        self.plan: List[int] = list(plan)
+        self.window = window
+        #: number of choose() calls so far == decision points met.
+        self.calls = 0
+        #: True if any plan entry had to be clamped to 0.
+        self.clamped = False
+
+    def choose(self, frontier) -> int:
+        index = 0
+        if self.calls < len(self.plan):
+            index = self.plan[self.calls]
+            if not 0 <= index < len(frontier):
+                index = 0
+                self.clamped = True
+        self.calls += 1
+        return index

@@ -1,0 +1,245 @@
+"""Deterministic deployments the schedule explorer searches over.
+
+Each scenario builds a small PAST deployment, drives it through an
+event-simulated protocol episode (churn, concurrent joins, storage
+diversion under load), runs to quiescence, and then issues a fixed batch
+of verification routes with the delivery log enabled.  All randomness
+comes from the scenario seed; the *only* free variable is the schedule
+policy, so two runs with the same ``(seed, plan)`` are identical and two
+runs with different plans differ only by event ordering.
+
+Scenario timing is deliberately tick-aligned: crashes, recoveries and
+joins land on the keep-alive probe ticks, so the interesting protocol
+races (detection vs. recovery, join vs. probe) show up as schedule
+frontiers the explorer can reorder even with a zero commutation window.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ...core import PastConfig, PastNetwork
+from ...netsim.eventsim import EventSimulator, SchedulePolicy
+from ...netsim.trace import ScheduleTrace
+from ...pastry import idspace
+from ...pastry.keepalive import KeepAliveMonitor
+from ...pastry.network import DeliveryRecord, RoutingError
+
+
+@dataclass
+class ScenarioRun:
+    """Everything the quiescence oracles need from one executed schedule."""
+
+    trace: ScheduleTrace
+    net: PastNetwork
+    sim: EventSimulator
+    deliveries: List[DeliveryRecord] = field(default_factory=list)
+    routing_errors: List[str] = field(default_factory=list)
+
+
+ScenarioFn = Callable[..., ScenarioRun]
+
+
+def _verify_routes(net: PastNetwork, seed: int, run: ScenarioRun) -> None:
+    """Route a fixed key batch at quiescence, recording delivery points.
+
+    Uses a fresh RNG derived from the seed (not the scenario's own, whose
+    stream position is schedule-dependent) so every plan verifies the
+    same keys from the same origins.
+    """
+    vrng = random.Random(seed ^ 0x5EED)
+    node_ids = sorted(net.pastry.node_ids)
+    keys = [idspace.routing_key(fid) for fid in sorted(net.live_file_ids())[:6]]
+    keys += [vrng.getrandbits(idspace.ID_BITS) for _ in range(4)]
+    run.deliveries = net.pastry.start_delivery_log()
+    try:
+        for key in keys:
+            origin = node_ids[vrng.randrange(len(node_ids))]
+            try:
+                net.pastry.route(origin, key)
+            except RoutingError as exc:
+                run.routing_errors.append(
+                    f"route {origin:#x} -> {key:#x}: {exc}"
+                )
+    finally:
+        net.pastry.delivery_log = None
+
+
+def scenario_churn(
+    seed: int,
+    policy: Optional[SchedulePolicy] = None,
+    trace: Optional[ScheduleTrace] = None,
+) -> ScenarioRun:
+    """Crash/detect/recover churn with disk loss on the crashed nodes.
+
+    Recoveries are placed a full detection period after each crash, so
+    under *every* legal schedule the keep-alive expiry fires first and
+    replica maintenance runs; the explorer perturbs the order of probe
+    rounds, detections and recoveries within each tick.
+    """
+    rng = random.Random(seed)
+    config = PastConfig(l=8, k=3, seed=seed, cache_policy="none")
+    net = PastNetwork(config)
+    net.build([rng.randrange(500_000, 1_000_000) for _ in range(10)])
+    owner = net.create_client("explore")
+    node_ids = [n.node_id for n in net.nodes()]
+    for i in range(10):
+        size = min(int(rng.lognormvariate(7.2, 2.0)) + 1, 100_000)
+        net.insert(f"c{i}", owner, size, node_ids[rng.randrange(len(node_ids))])
+
+    if trace is None:
+        trace = ScheduleTrace()
+    sim = EventSimulator(trace=trace, policy=policy)
+    monitor = KeepAliveMonitor(
+        sim, net.pastry, on_detect=net.process_failure_detection,
+        interval=1.0, timeout=3.0,
+    )
+    monitor.start()
+
+    def make_crash(victim: int) -> Callable[[], None]:
+        def crash() -> None:
+            if net.pastry.is_live(victim):
+                net.crash_node(victim)
+                net.wipe_failed_disk(victim)
+        return crash
+
+    def make_recover(victim: int) -> Callable[[], None]:
+        def recover() -> None:
+            if victim in net._failed_past:
+                net.recover_node(victim)
+                monitor.forget(victim)
+                monitor.watch(victim)
+        return recover
+
+    victims = list(net.pastry.node_ids)
+    rng.shuffle(victims)
+    when = 0.0
+    for victim in victims[:3]:
+        when += rng.expovariate(0.5)
+        sim.schedule_at(when, make_crash(victim))
+        sim.schedule_at(when + 8.0, make_recover(victim))
+    sim.run_until(when + 12.0)
+    monitor.stop()
+
+    run = ScenarioRun(trace=trace, net=net, sim=sim)
+    _verify_routes(net, seed, run)
+    return run
+
+
+def scenario_join(
+    seed: int,
+    policy: Optional[SchedulePolicy] = None,
+    trace: Optional[ScheduleTrace] = None,
+) -> ScenarioRun:
+    """Nodes joining a live deployment while keep-alives run.
+
+    Joins are scheduled exactly on probe ticks, so each join is
+    co-enabled with the whole probe round and the explorer can run it
+    before, between, or after any of the probes.
+    """
+    rng = random.Random(seed)
+    config = PastConfig(l=8, k=3, seed=seed, cache_policy="none")
+    net = PastNetwork(config)
+    net.build([rng.randrange(500_000, 1_000_000) for _ in range(8)])
+    owner = net.create_client("explore")
+    node_ids = [n.node_id for n in net.nodes()]
+    for i in range(8):
+        size = min(int(rng.lognormvariate(7.2, 2.0)) + 1, 100_000)
+        net.insert(f"j{i}", owner, size, node_ids[rng.randrange(len(node_ids))])
+
+    if trace is None:
+        trace = ScheduleTrace()
+    sim = EventSimulator(trace=trace, policy=policy)
+    monitor = KeepAliveMonitor(
+        sim, net.pastry, on_detect=net.process_failure_detection,
+        interval=1.0, timeout=3.0,
+    )
+    monitor.start()
+
+    def make_join(capacity: int) -> Callable[[], None]:
+        def join() -> None:
+            for node in net.add_node(capacity):
+                monitor.watch(node.node_id)
+        return join
+
+    for tick in (2.0, 3.0, 4.0):
+        sim.schedule_at(tick, make_join(rng.randrange(500_000, 1_000_000)))
+    sim.run_until(8.0)
+    monitor.stop()
+
+    run = ScenarioRun(trace=trace, net=net, sim=sim)
+    _verify_routes(net, seed, run)
+    return run
+
+
+def scenario_divert(
+    seed: int,
+    policy: Optional[SchedulePolicy] = None,
+    trace: Optional[ScheduleTrace] = None,
+) -> ScenarioRun:
+    """Replica diversion under load, then a crash racing its recovery.
+
+    Small node capacities push utilization high enough that some
+    replicas are diverted (§3.3); a node holding diverted state then
+    crashes with its disk intact, and its recovery is placed *on* the
+    tick where detection may expire — whether the keep-alive expiry or
+    the recovery runs first is the explorer's choice, and both orders
+    must leave the invariants intact.
+    """
+    rng = random.Random(seed)
+    # Loose acceptance thresholds (the defaults reject any file larger
+    # than a tenth of a node's free space) so a dozen inserts are enough
+    # to drive individual nodes into diverting replicas to leaf-set
+    # members.
+    config = PastConfig(
+        l=8, k=3, seed=seed, cache_policy="none", t_pri=0.5, t_div=0.25,
+    )
+    net = PastNetwork(config)
+    net.build([rng.randrange(10_000, 16_000) for _ in range(10)])
+    owner = net.create_client("explore")
+    node_ids = [n.node_id for n in net.nodes()]
+    for i in range(12):
+        size = rng.randrange(1_500, 3_500)
+        net.insert(f"d{i}", owner, size, node_ids[rng.randrange(len(node_ids))])
+
+    if trace is None:
+        trace = ScheduleTrace()
+    sim = EventSimulator(trace=trace, policy=policy)
+    monitor = KeepAliveMonitor(
+        sim, net.pastry, on_detect=net.process_failure_detection,
+        interval=1.0, timeout=3.0,
+    )
+    monitor.start()
+
+    holders = sorted(
+        n.node_id for n in net.nodes() if n.store.diverted_in
+    )
+    victim = holders[0] if holders else sorted(net.pastry.node_ids)[0]
+
+    def crash() -> None:
+        if net.pastry.is_live(victim):
+            net.crash_node(victim)
+
+    def recover() -> None:
+        if victim in net._failed_past:
+            net.recover_node(victim)
+            monitor.forget(victim)
+            monitor.watch(victim)
+
+    sim.schedule_at(3.0, crash)
+    sim.schedule_at(6.0, recover)
+    sim.run_until(10.0)
+    monitor.stop()
+
+    run = ScenarioRun(trace=trace, net=net, sim=sim)
+    _verify_routes(net, seed, run)
+    return run
+
+
+SCENARIOS: Dict[str, ScenarioFn] = {
+    "churn": scenario_churn,
+    "join": scenario_join,
+    "divert": scenario_divert,
+}

@@ -396,6 +396,18 @@ class FlowAnalysis:
     def function_effects(self, qual: str) -> Dict[str, Tuple[int, Optional[str]]]:
         return self.effects.get(qual, {})
 
+    def effect_sets(self) -> Dict[str, frozenset]:
+        """Transitive effect kinds per function, as plain frozensets.
+
+        This is the export the schedule explorer's independence relation
+        consumes: two event callbacks whose effect sets are disjoint
+        commute (neither schedules, draws randomness, nor writes shared
+        state that the other could observe), so their orderings need not
+        both be explored.  Witness lines and via-chains are dropped —
+        the consumer only needs the kinds.
+        """
+        return {qual: frozenset(effects) for qual, effects in self.effects.items()}
+
     def reachable_from(self, qual: str) -> Set[str]:
         """Transitive closure of project call edges from one function."""
         cached = self._reach_cache.get(qual)
@@ -476,3 +488,23 @@ def get_analysis(modules: Sequence[ModuleInfo]) -> FlowAnalysis:
     del _analysis_cache[:]
     _analysis_cache.append((key, analysis))
     return analysis
+
+
+def project_effect_sets(root=None) -> Dict[str, frozenset]:
+    """Effect sets for the whole ``repro`` source tree, keyed by qualname.
+
+    Runtime entry point for the schedule explorer: analyses the package
+    this module was imported from (or ``root``, a directory), so the
+    independence relation always reflects the code actually running.
+    Keys are dotted qualnames (``repro.pastry.node.PastryNode.learn``);
+    runtime callbacks carry only ``__qualname__`` (``PastryNode.learn``),
+    so consumers match by dotted suffix.
+    """
+    from pathlib import Path
+
+    from ..framework import collect_modules
+
+    if root is None:
+        root = Path(__file__).resolve().parents[2]
+    analysis = FlowAnalysis(collect_modules([root]))
+    return analysis.effect_sets()

@@ -5,17 +5,92 @@ usage errors (unknown rule, unreadable path, unparseable source).
 
 Findings can be suppressed per line with ``# lint: ignore[rule-name]``
 (or bare ``# lint: ignore`` for every rule on that line).
+
+Incremental mode:
+
+* ``--write-baseline FILE`` records the current findings (keyed by
+  ``rule|path|message``, deliberately line-number-free so unrelated
+  edits do not resurrect them) and exits 0.
+* ``--baseline FILE`` suppresses every finding already present in the
+  baseline: only *new* findings are reported and affect the exit
+  status.
+* ``--changed`` restricts linting to files changed relative to git HEAD
+  (plus untracked files).  Project-wide rules then see only the changed
+  subset, so a full run is still needed before declaring a tree clean —
+  this mode exists for fast pre-commit iteration.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Sequence
 
-from .framework import LintError, collect_modules, run_rules
+from .framework import Finding, LintError, collect_modules, run_rules
 from .rules import all_rules, get_rules
+
+BASELINE_VERSION = 1
+
+
+def finding_key(finding: Finding) -> str:
+    """Baseline identity of a finding (stable across line drift)."""
+    return f"{finding.rule}|{finding.path}|{finding.message}"
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted({finding_key(f) for f in findings}),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(path: str) -> set:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {path} is not a version-{BASELINE_VERSION} lint baseline"
+        )
+    return set(payload.get("findings", []))
+
+
+def changed_files(paths: Sequence[str]) -> List[str]:
+    """Python files under ``paths`` that differ from git HEAD.
+
+    Includes modified, added and untracked files; deleted files drop out
+    because they no longer exist on disk.
+    """
+    roots = [Path(p).resolve() for p in paths]
+
+    def run_git(*args: str) -> List[str]:
+        proc = subprocess.run(
+            ["git", *args], capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            raise LintError(
+                f"git {' '.join(args)} failed: {proc.stderr.strip()}"
+            )
+        return [line for line in proc.stdout.splitlines() if line]
+
+    candidates = set(run_git("diff", "--name-only", "HEAD", "--"))
+    candidates.update(run_git("ls-files", "--others", "--exclude-standard"))
+    out = []
+    for name in sorted(candidates):
+        path = Path(name)
+        if path.suffix != ".py" or not path.exists():
+            continue
+        resolved = path.resolve()
+        if any(
+            root == resolved or root in resolved.parents for root in roots
+        ):
+            out.append(str(path))
+    return out
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,6 +118,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="suppress findings recorded in FILE; report only new ones",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="record the current findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help=(
+            "lint only files changed vs. git HEAD (plus untracked) under "
+            "the given paths"
+        ),
+    )
     return parser
 
 
@@ -57,8 +147,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.select.split(",") if args.select else None,
             args.ignore.split(",") if args.ignore else None,
         )
-        modules = collect_modules(args.paths)
+        paths: List[str] = args.paths
+        if args.changed:
+            paths = changed_files(paths)
+            if not paths:
+                print("no changed python files to lint")
+                return 0
+        modules = collect_modules(paths)
         findings = run_rules(modules, rules)
+        if args.write_baseline:
+            write_baseline(args.write_baseline, findings)
+            noun = "finding" if len(findings) == 1 else "findings"
+            print(f"baseline written: {len(findings)} {noun} recorded "
+                  f"in {args.write_baseline}")
+            return 0
+        if args.baseline:
+            known = load_baseline(args.baseline)
+            findings = [f for f in findings if finding_key(f) not in known]
     except LintError as exc:
         print(f"lint: error: {exc}", file=sys.stderr)
         return 2

@@ -10,20 +10,29 @@ metric, and message accounting.
 from .topology import Coordinate, SphereTopology, TorusTopology, ClusteredTopology
 from .stats import MessageStats
 from .latency import LatencyModel, PAPER_PER_HOP_MS, percentiles
-from .eventsim import EventHandle, EventSimulator, PeriodicTimer
-from .trace import ScheduleTrace, TraceEvent
+from .eventsim import (
+    EventHandle,
+    EventSimulator,
+    PendingEvent,
+    PeriodicTimer,
+    SchedulePolicy,
+)
+from .trace import Decision, ScheduleTrace, TraceEvent
 
 __all__ = [
     "Coordinate",
     "SphereTopology",
     "TorusTopology",
     "ClusteredTopology",
+    "Decision",
     "EventHandle",
     "EventSimulator",
     "MessageStats",
     "LatencyModel",
     "PAPER_PER_HOP_MS",
+    "PendingEvent",
     "PeriodicTimer",
+    "SchedulePolicy",
     "ScheduleTrace",
     "TraceEvent",
     "percentiles",

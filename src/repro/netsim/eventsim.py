@@ -22,7 +22,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from .trace import ScheduleTrace
+from .trace import ScheduleTrace, callback_label
 
 
 def _call_site() -> str:
@@ -45,6 +45,51 @@ class EventHandle:
     seq: int
 
 
+@dataclass(frozen=True)
+class PendingEvent:
+    """One co-enabled event offered to a :class:`SchedulePolicy`."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None]
+
+    @property
+    def label(self) -> str:
+        """Stable, address-free name of the callback (see trace module)."""
+        return callback_label(self.callback)
+
+
+class SchedulePolicy:
+    """Chooses which of several co-enabled events runs next.
+
+    The simulator's default tie-break is FIFO: among events with equal
+    timestamps, lowest sequence number first.  A policy generalises
+    that: at each step the simulator collects the *frontier* — every
+    pending event whose time is within ``window`` of the earliest
+    pending time — and asks the policy to pick one by index.  The
+    frontier is sorted by ``(time, seq)``, so index 0 is always the
+    FIFO choice and the base policy is behaviour-preserving.
+
+    ``window > 0`` additionally allows *commuting* events whose
+    timestamps differ by at most ``window``: the chosen event may run
+    before an earlier-stamped one.  Virtual time never moves backwards;
+    an event overtaken this way still reports its original timestamp.
+
+    Policies must be deterministic functions of the frontier (plus any
+    internal state seeded deterministically): the schedule explorer
+    (``repro.devtools.explore``) relies on replaying a recorded decision
+    sequence to reproduce a run exactly.
+    """
+
+    #: co-enablement window: events within this much of the earliest
+    #: pending timestamp may be reordered ahead of it.
+    window: float = 0.0
+
+    def choose(self, frontier) -> int:
+        """Return the index of the frontier event to run next."""
+        return 0
+
+
 class EventSimulator:
     """A priority-queue discrete-event loop with virtual time.
 
@@ -53,7 +98,12 @@ class EventSimulator:
     :mod:`repro.netsim.trace` and ``python -m repro.devtools.sanitize``.
     """
 
-    def __init__(self, start_time: float = 0.0, trace: Optional[ScheduleTrace] = None):
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        trace: Optional[ScheduleTrace] = None,
+        policy: Optional[SchedulePolicy] = None,
+    ):
         self.now = start_time
         self._heap = []  # (time, seq, callback)
         self._seq = itertools.count()
@@ -64,6 +114,8 @@ class EventSimulator:
         if trace is None and os.environ.get("REPRO_SANITIZE"):
             trace = ScheduleTrace()
         self.trace = trace
+        #: ``None`` keeps the original FIFO pop path byte-for-byte.
+        self.policy = policy
 
     # ------------------------------------------------------------ schedule
 
@@ -110,26 +162,90 @@ class EventSimulator:
     def pending(self) -> int:
         return len(self._heap)
 
-    def step(self) -> bool:
-        """Run the next event; returns False when the queue is empty."""
+    def step(self, limit: Optional[float] = None) -> bool:
+        """Run the next event; returns False when the queue is empty.
+
+        ``limit`` caps the timestamps a :class:`SchedulePolicy` may pick
+        from (used by :meth:`run_until` so a commutation window never
+        reaches past the deadline).  It never *adds* events: the FIFO
+        path ignores it because its choice is always the earliest event.
+        """
+        if self.policy is None:
+            while self._heap:
+                when, seq, callback = heapq.heappop(self._heap)
+                self._pending.discard(seq)
+                if seq in self._cancelled:
+                    self._cancelled.discard(seq)
+                    continue
+                self.now = when
+                if self.trace is not None:
+                    self.trace.record_event(when, seq, callback)
+                callback()
+                self.events_run += 1
+                return True
+            return False
+
+        frontier = self._pop_frontier(limit)
+        if not frontier:
+            return False
+        index = 0
+        if len(frontier) > 1:
+            index = self.policy.choose(frontier)
+            if not 0 <= index < len(frontier):
+                raise IndexError(
+                    f"policy chose {index} from a frontier of {len(frontier)}"
+                )
+        chosen = frontier[index]
+        # Push the rest back *before* running the callback so the event
+        # it executes sees a consistent queue (it may cancel them).
+        for event in frontier:
+            if event.seq != chosen.seq:
+                heapq.heappush(self._heap, (event.time, event.seq, event.callback))
+                self._pending.add(event.seq)
+        if self.trace is not None and len(frontier) > 1:
+            self.trace.record_decision(index, frontier)
+        # Time is monotonic even when the policy runs a later-stamped
+        # event ahead of an earlier one inside the window.
+        self.now = max(self.now, chosen.time)
+        if self.trace is not None:
+            self.trace.record_event(chosen.time, chosen.seq, chosen.callback)
+        chosen.callback()
+        self.events_run += 1
+        return True
+
+    def _pop_frontier(self, limit: Optional[float]):
+        """Pop every co-enabled event: earliest time plus policy window.
+
+        Cancelled events encountered on the way are dropped for good,
+        exactly as the FIFO path drops them.
+        """
+        frontier = []
+        horizon = None
         while self._heap:
-            when, seq, callback = heapq.heappop(self._heap)
+            when, seq, callback = self._heap[0]
+            if horizon is None:
+                if seq in self._cancelled:
+                    heapq.heappop(self._heap)
+                    self._pending.discard(seq)
+                    self._cancelled.discard(seq)
+                    continue
+                horizon = when + self.policy.window
+                if limit is not None:
+                    horizon = min(horizon, limit)
+            if when > horizon:
+                break
+            heapq.heappop(self._heap)
             self._pending.discard(seq)
             if seq in self._cancelled:
                 self._cancelled.discard(seq)
                 continue
-            self.now = when
-            if self.trace is not None:
-                self.trace.record_event(when, seq, callback)
-            callback()
-            self.events_run += 1
-            return True
-        return False
+            frontier.append(PendingEvent(when, seq, callback))
+        return frontier
 
     def run_until(self, deadline: float) -> None:
         """Run every event scheduled at or before ``deadline``."""
         while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+            self.step(limit=deadline)
         self.now = max(self.now, deadline)
 
     def run(self, max_events: int = 1_000_000) -> None:

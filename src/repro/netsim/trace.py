@@ -48,6 +48,32 @@ class TraceEvent:
         }
 
 
+@dataclass(frozen=True)
+class Decision:
+    """One schedule-policy choice among co-enabled events.
+
+    Recorded whenever a :class:`~repro.netsim.eventsim.SchedulePolicy`
+    faced a frontier of two or more events.  ``index`` is the position
+    in :attr:`ScheduleTrace.events` the chosen event then occupied, so
+    decisions can be correlated with the executed sequence; ``chosen``
+    is the frontier index picked; ``options`` names every candidate as
+    ``(time, seq, label)`` tuples in frontier order.  A run is replayed
+    exactly by feeding the ``chosen`` values back in order (the
+    explorer's decision-string format, see ``repro.devtools.explore``).
+    """
+
+    index: int
+    chosen: int
+    options: tuple
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "chosen": self.chosen,
+            "options": [list(o) for o in self.options],
+        }
+
+
 def callback_label(callback) -> str:
     """A stable, address-free name for a scheduled callable."""
     label = getattr(callback, "__qualname__", None)
@@ -63,6 +89,8 @@ class ScheduleTrace:
         self.events: List[TraceEvent] = []
         #: cumulative hex digest after each event (same length as events).
         self.digests: List[str] = []
+        #: policy choices among co-enabled events, in decision order.
+        self.decisions: List[Decision] = []
         self._hash = hashlib.sha256()
         #: seq -> scheduling call site, recorded at schedule time.
         self._sites: Dict[int, str] = {}
@@ -71,6 +99,19 @@ class ScheduleTrace:
 
     def record_schedule(self, seq: int, site: str) -> None:
         self._sites[seq] = site
+
+    def record_decision(self, chosen: int, frontier) -> None:
+        """Record a policy choice.  ``frontier`` holds the candidates.
+
+        The decision is *not* folded into the digest: its effect is
+        already visible as the ordering of the executed events, and the
+        digest must stay comparable between a policy-driven run and a
+        plain FIFO run that happened to execute the same sequence.
+        """
+        options = tuple((e.time, e.seq, e.label) for e in frontier)
+        self.decisions.append(
+            Decision(index=len(self.events), chosen=chosen, options=options)
+        )
 
     def record_event(self, time: float, seq: int, callback) -> None:
         label = callback_label(callback)
@@ -115,4 +156,5 @@ class ScheduleTrace:
             "digest": self.digest(),
             "digests": list(self.digests),
             "events": [e.to_dict() for e in self.events],
+            "decisions": [d.to_dict() for d in self.decisions],
         }

@@ -13,7 +13,7 @@ from .idspace import ID_BITS, ID_SPACE, FILE_ID_BITS, file_id, routing_key
 from .leafset import LeafSet
 from .routingtable import RoutingTable
 from .node import PastryApplication, PastryNode
-from .network import PastryNetwork, RouteResult, RoutingError
+from .network import DeliveryRecord, PastryNetwork, RouteResult, RoutingError
 
 __all__ = [
     "idspace",
@@ -27,6 +27,7 @@ __all__ = [
     "PastryApplication",
     "PastryNode",
     "PastryNetwork",
+    "DeliveryRecord",
     "RouteResult",
     "RoutingError",
 ]

@@ -20,11 +20,14 @@ class LeafSet:
 
     The set is maintained as a plain member set plus derived, lazily
     recomputed views of the ``l/2`` clockwise (larger) and ``l/2``
-    counterclockwise (smaller) sides.  As long as no member has ever been
-    trimmed, the leaf set contains every node it was told about and the
-    node has global knowledge of the ring; once a side overflows and
-    drops a member, that guarantee is gone for good (the identity of the
-    dropped node is forgotten), which :meth:`covers` must account for.
+    counterclockwise (smaller) sides.  Membership is trimmed by the
+    union of the per-direction rankings (see :meth:`_recompute`), while
+    the side views partition members by their genuinely nearer
+    direction.  As long as no member has ever been trimmed, the leaf set
+    contains every node it was told about and the node has global
+    knowledge of the ring; once the set overflows and drops a member,
+    that guarantee is gone for good (the identity of the dropped node is
+    forgotten), which :meth:`covers` must account for.
     """
 
     def __init__(self, owner_id: int, l: int):
@@ -44,31 +47,53 @@ class LeafSet:
         if not self._dirty:
             return
         half = self.l // 2
-        # Partition members by the direction in which they are nearer: a
-        # node belongs to the "larger" (clockwise) side iff it is closer
-        # going clockwise.  Without this partition, a removal on one side
-        # could let a far node from the other side slip into the freed
-        # slot, corrupting the side views (and with them `extremes` and
-        # `covers`) for every later repair.
-        cw_side = []
-        ccw_side = []
-        for member in self._members:
-            cw = idspace.clockwise_distance(self.owner_id, member)
-            ccw = idspace.counterclockwise_distance(self.owner_id, member)
-            if cw <= ccw:
-                cw_side.append(member)
-            else:
-                ccw_side.append(member)
-        cw_side.sort(key=lambda i: idspace.clockwise_distance(self.owner_id, i))
-        ccw_side.sort(key=lambda i: idspace.counterclockwise_distance(self.owner_id, i))
-        self._larger = cw_side[:half]
-        self._smaller = ccw_side[:half]
-        # Nodes on neither side are no longer leaf-set members; drop them so
-        # the set does not grow without bound as the ring fills in.
-        keep = set(self._larger) | set(self._smaller)
+        # Membership is trimmed *direction-blind*: keep the union of the
+        # l/2 nearest clockwise successors and the l/2 nearest
+        # counterclockwise predecessors, each ranked over ALL members.
+        # This is what guarantees a node never forgets a true
+        # ring-adjacent neighbor: in a clustered ring a node's clockwise
+        # successor can be counterclockwise-*nearer*, and a trim that
+        # first buckets members by nearer direction would overflow that
+        # bucket and drop the successor — stranding keys at a node that
+        # cannot see its own successor (a real misrouting bug this rule
+        # fixed).
+        ranked_cw = sorted(
+            self._members, key=lambda i: idspace.clockwise_distance(self.owner_id, i)
+        )
+        ranked_ccw = sorted(
+            self._members,
+            key=lambda i: idspace.counterclockwise_distance(self.owner_id, i),
+        )
+        keep = set(ranked_cw[:half]) | set(ranked_ccw[:half])
         if len(keep) != len(self._members):
             self._ever_trimmed = True
-        self._members = keep
+            self._members = keep
+        # The side *views* stay direction-faithful: each member belongs
+        # to the side it is genuinely nearer to (ties go clockwise).
+        # Repair and fullness signals depend on this: if the smaller
+        # side were padded with far successors merely because they are
+        # the ccw-nearest members known, a node that lost its
+        # predecessors would look "full", pick repair donors on the
+        # wrong arc, and never refill — a kept member may therefore
+        # appear in neither view (it is still routable via `members`).
+        self._larger = sorted(
+            (
+                m
+                for m in self._members
+                if idspace.clockwise_distance(self.owner_id, m)
+                <= idspace.counterclockwise_distance(self.owner_id, m)
+            ),
+            key=lambda i: idspace.clockwise_distance(self.owner_id, i),
+        )[:half]
+        self._smaller = sorted(
+            (
+                m
+                for m in self._members
+                if idspace.counterclockwise_distance(self.owner_id, m)
+                < idspace.clockwise_distance(self.owner_id, m)
+            ),
+            key=lambda i: idspace.counterclockwise_distance(self.owner_id, i),
+        )[:half]
         self._dirty = False
 
     @property
@@ -101,6 +126,18 @@ class LeafSet:
         self._recompute()
         half = self.l // 2
         return len(self._smaller) == half and len(self._larger) == half
+
+    @property
+    def ever_trimmed(self) -> bool:
+        """Whether a member was ever dropped for side overflow.
+
+        A leaf set that is not full *and* has trimmed is provably
+        deficient: it once knew nodes it has since forgotten, so its arc
+        may exclude live nodes it ought to know about.  Routing and
+        failure repair use this to decide when a rebuild is warranted.
+        """
+        self._recompute()
+        return self._ever_trimmed
 
     # ---------------------------------------------------------------- updates
 
@@ -162,8 +199,16 @@ class LeafSet:
             return True
         low = self._smaller[-1] if self._smaller else self.owner_id
         high = self._larger[-1] if self._larger else self.owner_id
-        # Arc from `low` clockwise to `high` passes through owner.
-        span = idspace.clockwise_distance(low, high)
+        # Arc from `low` clockwise through the owner to `high`.  The two
+        # half-arcs are measured separately and summed *without* reducing
+        # modulo the ring size: each is at most half the ring (sides are
+        # direction-faithful), but if they jointly wrap the whole ring a
+        # single mod-reduced span would silently truncate it to a sliver.
+        span = idspace.clockwise_distance(low, self.owner_id) + idspace.clockwise_distance(
+            self.owner_id, high
+        )
+        if span >= idspace.ID_SPACE:
+            return True
         offset = idspace.clockwise_distance(low, key)
         return offset <= span
 

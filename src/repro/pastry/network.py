@@ -33,6 +33,39 @@ class RoutingError(RuntimeError):
     """Raised when routing cannot make progress (should not happen)."""
 
 
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """Delivery-point annotation for one routed message.
+
+    Captured when a :class:`PastryNetwork` has a delivery log enabled
+    (see :meth:`PastryNetwork.start_delivery_log`).  ``closest_live`` is
+    the *global* numerically-closest-live oracle evaluated at the moment
+    of delivery — not later — so a checker running at quiescence can
+    still decide whether each individual delivery was correct even
+    though membership has churned since.  ``intercepted`` marks
+    application interceptions (PAST stops lookups at the first replica),
+    which legitimately terminate away from the closest node; ``dropped``
+    marks messages absorbed by a malicious node.
+    """
+
+    key: int
+    origin: int
+    terminus: Optional[int]
+    closest_live: Optional[int]
+    hops: int
+    intercepted: bool
+    dropped: bool
+
+    @property
+    def misdelivered(self) -> bool:
+        """True when a normal delivery ended at the wrong node."""
+        return (
+            not self.intercepted
+            and not self.dropped
+            and self.terminus != self.closest_live
+        )
+
+
 @dataclass
 class RouteResult:
     """Outcome of routing one message."""
@@ -76,6 +109,10 @@ class PastryNetwork:
         #: the worst an attacker can do).
         self.identity_verifier = None
         self.stats = MessageStats()
+        #: When not None, :meth:`route` appends a :class:`DeliveryRecord`
+        #: per message.  Off by default: routing itself must never read
+        #: it, and the oracle lookup it triggers costs a bisect per route.
+        self.delivery_log: Optional[List[DeliveryRecord]] = None
         self._nodes: Dict[int, PastryNode] = {}
         self._failed: Dict[int, PastryNode] = {}
         self._coords: Dict[int, object] = {}
@@ -415,4 +452,21 @@ class PastryNetwork:
             result.path.append(next_id)
             current = nxt
         self.stats.record_route(result.hops, result.distance)
+        if self.delivery_log is not None:
+            self.delivery_log.append(
+                DeliveryRecord(
+                    key=key,
+                    origin=origin_id,
+                    terminus=result.terminus,
+                    closest_live=self.numerically_closest_live(key),
+                    hops=result.hops,
+                    intercepted=result.intercepted,
+                    dropped=result.dropped,
+                )
+            )
         return result
+
+    def start_delivery_log(self) -> List[DeliveryRecord]:
+        """Enable delivery-point recording; returns the (live) log list."""
+        self.delivery_log = []
+        return self.delivery_log

@@ -151,7 +151,15 @@ class PastryNode:
             self.app.on_node_failed(self, failed_id)
 
     def _repair_leafset(self) -> None:
-        """Refill the leaf set from the farthest live member on each side."""
+        """Refill the leaf set from the farthest live member on each side.
+
+        When the extremes' donations leave the set short of ``l`` members
+        while it has trimmed in the past, the single-donor pull was not
+        enough (the donors' own sets can be stale after churn shrinks the
+        ring) — walk the membership to a fixpoint, exactly as a joining
+        node does, so the witness ends the repair with every live node it
+        can transitively reach.
+        """
         for donor_id in [d for d in self.leafset.extremes() if d is not None]:
             donor = self.network.get_live(donor_id)
             if donor is None:
@@ -159,6 +167,8 @@ class PastryNode:
             for member in sorted(donor.leafset.members() | {donor_id}):
                 if self.network.is_live(member):
                     self.leafset.add(member)
+        if not self.leafset.is_full() and self.leafset.ever_trimmed:
+            self.exchange_leafsets()
 
     def exchange_leafsets(self) -> int:
         """Pull the leaf sets of current members until ours stops changing.
@@ -260,6 +270,14 @@ class PastryNode:
         if entry is not None:
             candidates.add(entry)
         if not candidates:
+            # About to deliver here without leaf-set coverage.  If the
+            # leaf set is provably deficient (it trimmed members in a
+            # bigger ring and churn has since shrunk it below l), the
+            # "no strictly closer node known" conclusion may only reflect
+            # lost knowledge — rebuild to a fixpoint and retry once
+            # before accepting delivery.
+            if self._complete_deficient_leafset():
+                return self.next_hop(key, rng, randomize)
             return None
         best = min(candidates, key=lambda c: (idspace.ring_distance(c, key), c))
         if randomize and rng is not None and len(candidates) > 1:
@@ -274,6 +292,19 @@ class PastryNode:
                 )
                 return others[min(len(others) - 1, int(rng.random() * 2))]
         return best
+
+    def _complete_deficient_leafset(self) -> bool:
+        """Rebuild a trimmed-but-not-full leaf set; True if it changed.
+
+        Returning False (unchanged) is what bounds the ``next_hop``
+        retry: a second pass through the empty-candidate path finds the
+        fixpoint already reached and delivers.
+        """
+        if self.leafset.is_full() or not self.leafset.ever_trimmed:
+            return False
+        before = self.leafset.members()
+        self.exchange_leafsets()
+        return self.leafset.members() != before
 
     def repair_table_entry(self, row: int, col: int) -> Optional[int]:
         """Lazily repair a dead routing-table slot (the Pastry protocol).

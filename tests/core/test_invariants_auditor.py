@@ -98,3 +98,49 @@ class TestAuditorDetections:
         report = audit(net, check_replicas=False)
         # The replica hole is invisible, but accounting still audited.
         assert all(v.kind != "replicas" for v in report.violations)
+
+
+class TestOverlayAudit:
+    def test_clean_network_passes_overlay_checks(self, net):
+        report = audit(net, check_overlay=True)
+        assert report.ok
+
+    def test_detects_leafset_asymmetry(self, net):
+        node = net.pastry.nodes()[0]
+        member_id = sorted(node.leafset.members())[0]
+        net.pastry.node(member_id).leafset.remove(node.node_id)
+        report = audit(net, check_overlay=True)
+        assert any(
+            v.kind == "overlay" and "asymmetry" in v.detail
+            for v in report.violations
+        )
+
+    def test_detects_dead_overlay_entries(self, net):
+        # Phase-1 crash with no keep-alive expiry: every surviving
+        # leaf-set and routing-table reference to the victim is stale.
+        victim = net.pastry.nodes()[0].node_id
+        net.crash_node(victim)
+        report = audit(net, check_overlay=True)
+        dead_leaf = [
+            v for v in report.violations
+            if v.kind == "overlay" and "leaf set lists dead" in v.detail
+        ]
+        dead_route = [
+            v for v in report.violations
+            if v.kind == "overlay" and "routing table entry" in v.detail
+        ]
+        assert dead_leaf and dead_route
+
+    def test_fixpoint_after_detection_passes(self, net):
+        victim = net.pastry.nodes()[0].node_id
+        net.crash_node(victim)
+        net.process_failure_detection(victim)
+        net.recover_node(victim)
+        report = audit(net, check_overlay=True)
+        assert not [v for v in report.violations if v.kind == "overlay"]
+
+    def test_overlay_checks_are_opt_in(self, net):
+        node = net.pastry.nodes()[0]
+        member_id = sorted(node.leafset.members())[0]
+        net.pastry.node(member_id).leafset.remove(node.node_id)
+        assert audit(net).ok

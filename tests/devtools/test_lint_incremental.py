@@ -1,0 +1,106 @@
+"""Tests for the linter's incremental mode (--baseline / --changed)."""
+
+import json
+import subprocess
+
+import pytest
+
+from repro.devtools.lint import (
+    changed_files,
+    finding_key,
+    load_baseline,
+    main as lint_main,
+    write_baseline,
+)
+from repro.devtools.framework import Finding, LintError
+
+BAD_SOURCE = "import random\nr = random.Random()\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "bad.py").write_text(BAD_SOURCE)
+    return tmp_path
+
+
+class TestBaseline:
+    def test_write_then_suppress(self, tree, capsys):
+        baseline = tree / "lint-baseline.json"
+        assert lint_main([str(tree), "--write-baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 finding" in out
+        # The recorded finding no longer fails the run...
+        assert lint_main([str(tree), "--baseline", str(baseline)]) == 0
+        # ...but a new one does, and is the only one reported.
+        (tree / "worse.py").write_text(BAD_SOURCE)
+        assert lint_main([str(tree), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "worse.py" in out and "bad.py" not in out
+
+    def test_baseline_survives_line_drift(self, tree):
+        baseline = tree / "baseline.json"
+        lint_main([str(tree), "--write-baseline", str(baseline)])
+        # Shift the offending line down; the finding identity is
+        # line-number-free, so it stays suppressed.
+        (tree / "bad.py").write_text("# a comment\n\n" + BAD_SOURCE)
+        assert lint_main([str(tree), "--baseline", str(baseline)]) == 0
+
+    def test_finding_key_ignores_line(self):
+        a = Finding("rule", "p.py", 3, "msg")
+        b = Finding("rule", "p.py", 99, "msg")
+        assert finding_key(a) == finding_key(b)
+
+    def test_roundtrip_helpers(self, tmp_path):
+        path = tmp_path / "b.json"
+        write_baseline(str(path), [Finding("r", "p.py", 1, "m")])
+        assert load_baseline(str(path)) == {"r|p.py|m"}
+
+    def test_unreadable_baseline_is_usage_error(self, tree, capsys):
+        assert lint_main([str(tree), "--baseline", str(tree / "nope.json")]) == 2
+
+    def test_wrong_version_is_usage_error(self, tree):
+        bad = tree / "bad-baseline.json"
+        bad.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(LintError):
+            load_baseline(str(bad))
+
+
+class TestChanged:
+    @pytest.fixture
+    def repo(self, tmp_path):
+        def git(*args):
+            subprocess.run(
+                ["git", *args], cwd=tmp_path, check=True,
+                capture_output=True,
+            )
+
+        git("init", "-q")
+        git("config", "user.email", "t@example.com")
+        git("config", "user.name", "t")
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        git("add", "clean.py")
+        git("commit", "-qm", "init")
+        return tmp_path
+
+    def test_changed_sees_modified_and_untracked_only(self, repo, monkeypatch):
+        monkeypatch.chdir(repo)
+        (repo / "clean.py").write_text("x = 2\n")
+        (repo / "new.py").write_text("y = 3\n")
+        assert sorted(changed_files(["."])) == ["clean.py", "new.py"]
+        # Scope filter: a subdirectory root excludes top-level files.
+        (repo / "sub").mkdir()
+        (repo / "sub" / "inner.py").write_text("z = 4\n")
+        assert changed_files(["sub"]) == ["sub/inner.py"]
+
+    def test_changed_lints_only_the_diff(self, repo, monkeypatch, capsys):
+        monkeypatch.chdir(repo)
+        # An (uncommitted) offender next to a committed clean file.
+        (repo / "new_bad.py").write_text(BAD_SOURCE)
+        assert lint_main([".", "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "new_bad.py" in out and "clean.py" not in out
+
+    def test_changed_with_clean_diff_exits_zero(self, repo, monkeypatch, capsys):
+        monkeypatch.chdir(repo)
+        assert lint_main([".", "--changed"]) == 0
+        assert "no changed python files" in capsys.readouterr().out

@@ -2,8 +2,18 @@
 
 import pytest
 
-from repro.netsim.eventsim import EventSimulator, PeriodicTimer
+from repro.netsim.eventsim import EventSimulator, PeriodicTimer, SchedulePolicy
 from repro.netsim.trace import ScheduleTrace
+
+
+class LastChoicePolicy(SchedulePolicy):
+    """Maximally anti-FIFO: always run the latest frontier candidate."""
+
+    def __init__(self, window: float = 0.0):
+        self.window = window
+
+    def choose(self, frontier) -> int:
+        return len(frontier) - 1
 
 
 class TestScheduling:
@@ -169,6 +179,137 @@ class TestCancelBookkeeping:
             sim.run()
             assert sim._cancelled == set()
             assert sim._pending == set()
+
+
+class TestSchedulePolicy:
+    @staticmethod
+    def _mixed_workload(sim):
+        """Timers, ties, nested schedules and cancels — order-sensitive."""
+        order = []
+        timer = sim.every(1.0, lambda: order.append(("tick", sim.now)))
+        doomed = []
+
+        def spawn():
+            order.append(("spawn", sim.now))
+            doomed.append(sim.schedule(2.0, lambda: order.append(("doomed", sim.now))))
+            sim.schedule(1.0, lambda: order.append(("child", sim.now)))
+
+        sim.schedule(1.0, spawn)
+        sim.schedule(1.0, lambda: order.append(("tied", sim.now)))
+        sim.schedule(1.5, lambda: sim.cancel(doomed[0]))
+        sim.run_until(4.0)
+        timer.stop()
+        return order
+
+    def test_base_policy_matches_unpoliced_run_exactly(self):
+        # The frontier code path with the FIFO base policy must be
+        # byte-for-byte equivalent to the original heap-pop path: same
+        # event order, same cumulative digest stream.
+        def run(policy):
+            trace = ScheduleTrace()
+            sim = EventSimulator(trace=trace, policy=policy)
+            order = self._mixed_workload(sim)
+            return order, trace
+
+        order_none, trace_none = run(None)
+        order_fifo, trace_fifo = run(SchedulePolicy())
+        assert order_fifo == order_none
+        assert trace_fifo.digests == trace_none.digests
+        # Only the policy-driven run records decision points.
+        assert trace_none.decisions == []
+        assert len(trace_fifo.decisions) > 0
+        assert all(d.chosen == 0 for d in trace_fifo.decisions)
+
+    def test_anti_fifo_policy_reverses_ties(self):
+        sim = EventSimulator(policy=LastChoicePolicy())
+        order = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["c", "b", "a"]
+
+    def test_decision_options_describe_the_frontier(self):
+        trace = ScheduleTrace()
+        sim = EventSimulator(trace=trace, policy=LastChoicePolicy())
+
+        def cb():
+            pass
+
+        sim.schedule(1.0, cb)
+        sim.schedule(1.0, cb)
+        sim.schedule(2.0, cb)  # alone at its time: no decision
+        sim.run()
+        assert len(trace.decisions) == 1
+        decision = trace.decisions[0]
+        assert decision.chosen == 1
+        assert [opt[1] for opt in decision.options] == [0, 1]
+        assert all("cb" in opt[2] for opt in decision.options)
+
+    def test_cancel_bookkeeping_bounded_under_policy(self):
+        sim = EventSimulator(policy=LastChoicePolicy())
+        for _ in range(20):
+            handles = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+            for handle in handles[::2]:
+                sim.cancel(handle)
+            sim.run()
+            assert sim._cancelled == set()
+            assert sim._pending == set()
+        for handle in handles:  # cancel-after-run stays a no-op
+            sim.cancel(handle)
+        assert sim._cancelled == set()
+
+    def test_callback_can_cancel_frontier_sibling(self):
+        # The unchosen frontier events are pushed back before the chosen
+        # callback runs, so cancelling a same-time sibling must stick.
+        sim = EventSimulator(policy=LastChoicePolicy())
+        order = []
+        handles = {}
+
+        def killer():
+            order.append("killer")
+            sim.cancel(handles["victim"])
+
+        handles["victim"] = sim.schedule(1.0, lambda: order.append("victim"))
+        sim.schedule(1.0, killer)
+        sim.run()
+        assert order == ["killer"]
+        assert sim._cancelled == set() and sim._pending == set()
+
+    def test_window_commutes_nearby_events_monotonically(self):
+        sim = EventSimulator(policy=LastChoicePolicy(window=0.2))
+        order = []
+        sim.schedule_at(1.0, lambda: order.append(("early", sim.now)))
+        sim.schedule_at(1.1, lambda: order.append(("late", sim.now)))
+        sim.schedule_at(2.0, lambda: order.append(("far", sim.now)))
+        sim.run()
+        # The later-stamped event ran first; virtual time never rewound.
+        assert [name for name, _ in order] == ["late", "early", "far"]
+        assert [now for _, now in order] == [1.1, 1.1, 2.0]
+
+    def test_run_until_clamps_window_at_deadline(self):
+        # A commutation window must never pull an event from beyond the
+        # run_until deadline into the frontier.
+        sim = EventSimulator(policy=LastChoicePolicy(window=5.0))
+        order = []
+        sim.schedule_at(2.0, lambda: order.append("at-deadline"))
+        sim.schedule_at(2.5, lambda: order.append("beyond"))
+        sim.run_until(2.0)
+        assert order == ["at-deadline"]
+        assert sim.now == 2.0
+        assert sim.pending() == 1
+        sim.run()
+        assert order == ["at-deadline", "beyond"]
+
+    def test_out_of_range_choice_raises(self):
+        class BadPolicy(SchedulePolicy):
+            def choose(self, frontier):
+                return len(frontier)
+
+        sim = EventSimulator(policy=BadPolicy())
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(IndexError):
+            sim.run()
 
 
 class TestScheduleTrace:

@@ -55,10 +55,28 @@ class TestMembership:
         assert ls.larger == [1100, 1200]
 
     def test_trims_to_l_over_2_per_side(self):
+        # 1300 is neither among the 2 nearest clockwise successors
+        # (1100, 1200) nor the 2 nearest counterclockwise predecessors
+        # across the wrap (1500, 1400), so it is the one node trimmed.
+        # The retained far nodes are members but sit on no side view
+        # (they are clockwise-nearer, and the clockwise view is full
+        # with nearer successors).
+        ls = make(owner=1000, l=4)
+        ls.add_all([1100, 1200, 1300, 1400, 1500])
+        assert ls.larger == [1100, 1200]
+        assert ls.smaller == []
+        assert ls.members() == {1100, 1200, 1400, 1500}
+        assert 1300 not in ls
+        assert ls.ever_trimmed
+
+    def test_small_ring_keeps_every_member(self):
+        # With at most l/2 nodes per direction ranking, every node is
+        # among the nearest in one of the two rankings: nothing is
+        # trimmed, preserving global knowledge of a small ring.
         ls = make(owner=1000, l=4)
         ls.add_all([1100, 1200, 1300, 1400])
-        assert ls.larger == [1100, 1200]
-        assert 1300 not in ls
+        assert ls.members() == {1100, 1200, 1300, 1400}
+        assert not ls.ever_trimmed
 
     def test_wraps_around_namespace(self):
         top = idspace.ID_SPACE - 5
@@ -86,20 +104,44 @@ class TestCoverage:
         assert not ls.covers(5000)
         assert not ls.covers(500)
 
-    def test_trimmed_one_sided_set_does_not_cover_everything(self):
-        # Regression: more than l/2 nodes clustered clockwise of the
-        # owner overflow the larger side (forgetting node 30) while the
-        # smaller side stays empty.  The set is non-full yet has lost
-        # knowledge, so it must NOT claim the whole ring is covered —
-        # that made routing deliver at nodes that merely could not see
-        # anything closer.
+    def test_trimmed_set_does_not_cover_forgotten_gap(self):
+        # Regression: five nodes clustered clockwise of the owner.  Node
+        # 30 is neither among the 2 nearest clockwise (10, 20) nor the 2
+        # nearest counterclockwise across the wrap (50, 40), so it is
+        # trimmed and forgotten.  The set has lost knowledge, so it must
+        # NOT claim anything beyond its faithful arc (which ends at 20 —
+        # the retained far nodes 40 and 50 are clockwise-nearer, so the
+        # counterclockwise side is genuinely empty) — claiming more made
+        # routing deliver at nodes that merely could not see anything
+        # closer.
         ls = make(owner=0, l=4)
-        ls.add_all([10, 20, 30])
+        ls.add_all([10, 20, 30, 40, 50])
         assert ls.larger == [10, 20] and ls.smaller == []
-        assert not ls.is_full()
+        assert {40, 50} <= ls.members()
+        assert ls.ever_trimmed
         assert ls.covers(15)          # inside the arc owner..20
-        assert not ls.covers(1000)    # far outside it
+        assert not ls.covers(30)      # the forgotten node's neighborhood
+        assert not ls.covers(45)      # beyond the faithful arc
         assert not ls.covers(idspace.ID_SPACE - 50)
+
+    def test_clustered_ring_keeps_clockwise_successor(self):
+        # Regression for a real misrouting bug: every other node sits far
+        # clockwise of the owner, so a trim that bucketed members by
+        # nearer direction would overflow that one bucket and forget the
+        # farthest successors.  The direction-blind union trim keeps all
+        # six (each is among the 4 nearest in at least one direction
+        # ranking), so the set never trims and retains global knowledge
+        # — while the faithful side views still report that no member is
+        # genuinely counterclockwise-nearer.
+        ls = make(owner=0, l=8)
+        cluster = [500, 510, 520, 530, 540, 550]
+        ls.add_all(cluster)
+        assert ls.members() == set(cluster)
+        assert not ls.ever_trimmed
+        assert ls.larger == [500, 510, 520, 530]
+        assert ls.smaller == []
+        assert ls.covers(1000) and ls.covers(idspace.ID_SPACE - 50)
+        assert ls.covers(535)
 
     def test_never_trimmed_partial_set_still_covers_everything(self):
         # A side shrinking below l/2 through removals (without ever

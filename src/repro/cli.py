@@ -9,6 +9,7 @@ Usage::
     python -m repro figure4 | figure5 | figure6 | figure7 | figure8
     python -m repro availability
     python -m repro churn
+    python -m repro chaos
 
 Every command prints the same paper-vs-measured report the benchmark
 suite produces.
@@ -27,7 +28,7 @@ from .analysis import (
     format_table,
     summarize_run,
 )
-from .experiments import caching, churn, locality, recovery, security, storage
+from .experiments import caching, chaos, churn, locality, recovery, security, storage
 
 
 def _scale_args(args) -> dict:
@@ -236,8 +237,38 @@ def cmd_security(args) -> str:
     )
 
 
+def cmd_chaos(args) -> str:
+    """Loss sweep under the fault plane: baseline vs. retry+hedge clients.
+
+    The full harness (partitions, crash storms, durability oracles) is
+    ``python -m repro.experiments.chaos``; this command runs just the
+    availability sweep so it fits the figure-style CLI.
+    """
+    sweep = chaos.run_loss_sweep(seed=args.seed)
+    by_rate = {}
+    for r in sweep:
+        rate, _, tag = r.scenario.partition("/")
+        by_rate.setdefault(rate, {})[tag] = r
+    rows = []
+    for rate in sorted(by_rate, key=lambda s: float(s.split("=")[1])):
+        base = by_rate[rate]["baseline"]
+        res = by_rate[rate]["retry+hedge"]
+        rows.append(
+            [rate, round(100 * base.lookup_success, 2),
+             round(100 * res.lookup_success, 2),
+             round(res.mean_attempts, 2), res.hedged_successes]
+        )
+    return format_table(
+        ["loss", "baseline %", "retry+hedge %", "attempts/op", "hedged"],
+        rows,
+        title="Lookup availability under uniform message loss "
+              "(full harness: python -m repro.experiments.chaos)",
+    )
+
+
 COMMANDS = {
     "baseline": cmd_baseline,
+    "chaos": cmd_chaos,
     "recovery": cmd_recovery,
     "locality": cmd_locality,
     "security": cmd_security,

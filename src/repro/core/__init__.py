@@ -17,6 +17,7 @@ from .errors import (
     PastError,
 )
 from .invariants import AuditReport, audit
+from .resilience import DEFAULT_RETRY_POLICY, NO_RETRY_POLICY, RetryPolicy
 from .seeding import derive_seed
 from .network import InsertResult, LookupResult, PastNetwork, ReclaimResult
 from .node import PastNode
@@ -38,6 +39,9 @@ __all__ = [
     "NotOwnerError",
     "audit",
     "AuditReport",
+    "DEFAULT_RETRY_POLICY",
+    "NO_RETRY_POLICY",
+    "RetryPolicy",
     "derive_seed",
     "PastNetwork",
     "PastNode",

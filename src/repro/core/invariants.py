@@ -53,6 +53,9 @@ class AuditReport:
     #: when all k replicas fail within one recovery period (§2.1) — a
     #: documented availability limit, not an invariant violation.
     lost_files: int = 0
+    #: The fileIds behind ``lost_files``, so a durability oracle can say
+    #: exactly which files died, not just how many.
+    lost_file_ids: List[int] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -139,6 +142,7 @@ def _audit_files(network: PastNetwork, report: AuditReport) -> None:
         report.files_checked += 1
         if fid not in held:
             report.lost_files += 1
+            report.lost_file_ids.append(fid)
             continue
         if fid in network.degraded_files:
             report.degraded_exempt += 1

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from ..netsim.topology import Topology
 from ..pastry import PastryNetwork, idspace
+from ..pastry.network import RouteResult
 from ..security import (
     FileCertificate,
     NodeIdentity,
@@ -33,6 +34,7 @@ from ..security.smartcard import QuotaExceededError
 from .config import PastConfig
 from .errors import AdmissionError
 from .messages import InsertRequest, LookupRequest, ReclaimRequest
+from .resilience import RetryPolicy
 from .seeding import derive_seed
 from .node import PastNode
 from .stats import InsertEvent, LookupEvent, PastStats
@@ -73,6 +75,13 @@ class LookupResult:
     content: Optional[bytes] = None
     #: Proximity-metric length of the route taken.
     distance: float = 0.0
+    #: Route attempts issued (always 1 without a RetryPolicy).
+    attempts: int = 1
+    #: Virtual time the client spent, timeouts and backoffs included
+    #: (only accounted when a RetryPolicy is in effect).
+    elapsed: float = 0.0
+    #: The answer came from a hedged direct fetch, not the routed request.
+    hedged: bool = False
 
 
 @dataclass
@@ -103,6 +112,10 @@ class PastNetwork:
             randomize_routing=self.config.randomize_routing,
         )
         self.rng = random.Random(derive_seed(self.config.seed, "past-network"))
+        #: Dedicated stream for client retry jitter: keeps RetryPolicy
+        #: draws off ``self.rng`` so enabling retries cannot shift the
+        #: salts/placements of unrelated operations.
+        self.retry_rng = random.Random(derive_seed(self.config.seed, "client-retry"))
         self.issuer = issuer if issuer is not None else SmartcardIssuer()
         self.stats = PastStats()
         self._past: Dict[int, PastNode] = {}
@@ -309,6 +322,7 @@ class PastNetwork:
         client_id: int = 0,
         k: Optional[int] = None,
         content: Optional[bytes] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> InsertResult:
         """Insert a file, re-salting its fileId on failure (file diversion).
 
@@ -320,6 +334,12 @@ class PastNetwork:
         trace-driven experiments; passing ``content`` materializes the
         bytes (the certificate then carries the real SHA-1 and lookups
         return the data).
+
+        A ``policy`` separates transport loss from storage failure: a
+        route the fault plane lost is re-issued (same salt, randomized
+        routing per §2.3) before the client concludes the fileId's
+        neighborhood is full and re-salts.  Without one, a lost insert
+        burns a diversion attempt — the §3.4 path predates lossy links.
         """
         if content is not None:
             if size is not None and size != len(content):
@@ -348,6 +368,11 @@ class PastNetwork:
             request = InsertRequest(cert, client_id, content=content)
             route = self.pastry.route(client_id, idspace.routing_key(fid), message=request)
             total_hops += route.hops
+            if policy is not None and (route.lost or route.dropped):
+                request, route, retry_hops = self._reroute_insert(
+                    cert, client_id, content, policy
+                )
+                total_hops += retry_hops
             coordinator_id = request.coordinator_id or route.terminus
             coordinator = self._past.get(coordinator_id)
             ok = coordinator is not None and coordinator.coordinate_insert(request)
@@ -384,6 +409,37 @@ class PastNetwork:
         self._record_insert(result)
         return result
 
+    def _reroute_insert(self, cert, client_id, content, policy: RetryPolicy):
+        """Re-issue a lost insert route under the client's retry policy.
+
+        Retries keep the same salt — the transport lost the message, the
+        fileId's neighborhood never refused it — and run with randomized
+        routing so each retry is likely to avoid the previous path (§2.3).
+        Returns the last (request, route) pair plus the hops spent.
+        """
+        hops = 0
+        request = None
+        route = None
+        saved = self.pastry.randomize_routing
+        if policy.randomize_retries:
+            self.pastry.randomize_routing = True
+        try:
+            for retry in range(1, policy.max_attempts):
+                request = InsertRequest(cert, client_id, content=content)
+                route = self.pastry.route(
+                    client_id, idspace.routing_key(cert.file_id), message=request
+                )
+                hops += route.hops
+                if not (route.lost or route.dropped):
+                    break
+        finally:
+            self.pastry.randomize_routing = saved
+        if request is None:  # max_attempts == 1: no retry budget
+            request = InsertRequest(cert, client_id, content=content)
+            request.failure_reason = "request lost in transit"
+            route = RouteResult(lost=True)
+        return request, route, hops
+
     def _record_insert(self, result: InsertResult) -> None:
         self.stats.record_insert(
             InsertEvent(
@@ -407,13 +463,27 @@ class PastNetwork:
 
     # -------------------------------------------------------------- lookup
 
-    def lookup(self, file_id: int, client_id: int, retries: int = 0) -> LookupResult:
+    def lookup(
+        self,
+        file_id: int,
+        client_id: int,
+        retries: int = 0,
+        policy: Optional[RetryPolicy] = None,
+    ) -> LookupResult:
         """Retrieve a file; served by the first node en route that has it.
 
         ``retries`` re-issues the request when a malicious node along the
         path swallowed it; with randomized routing enabled, each retry is
         likely to take a different route around the bad node (§2.3).
+
+        A ``policy`` supersedes ``retries`` with the full client
+        resilience loop: per-attempt timeouts on the virtual clock,
+        jittered exponential backoff, randomized-routing retries, and a
+        hedged fallback that queries the k replica holders directly when
+        a delivered request found no replica along its route.
         """
+        if policy is not None:
+            return self._lookup_with_policy(file_id, client_id, policy)
         self.clock += 1
         for _attempt in range(retries + 1):
             request = LookupRequest(file_id, client_id)
@@ -448,6 +518,110 @@ class PastNetwork:
             content=self._contents.get(file_id) if success else None,
             distance=route.distance,
         )
+
+    def _lookup_with_policy(
+        self, file_id: int, client_id: int, policy: RetryPolicy
+    ) -> LookupResult:
+        """The resilient client loop behind ``lookup(..., policy=...)``."""
+        self.clock += 1
+        key = idspace.routing_key(file_id)
+        elapsed = 0.0
+        attempts = 0
+        total_hops = 0
+        total_distance = 0.0
+        request = LookupRequest(file_id, client_id)
+        hedged = False
+        route = None
+        saved_randomize = self.pastry.randomize_routing
+        try:
+            for attempt in range(1, policy.max_attempts + 1):
+                if attempt > 1:
+                    elapsed += policy.backoff(attempt - 1, self.retry_rng)
+                    if policy.randomize_retries:
+                        self.pastry.randomize_routing = True
+                if elapsed > policy.op_deadline:
+                    break
+                attempts = attempt
+                request = LookupRequest(file_id, client_id)
+                route = self.pastry.route(
+                    client_id, key, message=request, collect_distance=True
+                )
+                total_hops += route.hops
+                total_distance += route.distance
+                elapsed += route.latency
+                if route.lost or route.dropped:
+                    # No reply ever comes; the client times out (§2.3:
+                    # "the client must retry").
+                    elapsed += policy.attempt_timeout
+                    continue
+                if request.source is not None:
+                    break
+                # Delivered, but no node along the route had a replica —
+                # the holders may be crashed, partitioned, or mid-repair.
+                # Hedge: ask each of the k replica holders directly.
+                if policy.hedge and route.terminus is not None:
+                    hedged = self._hedged_fetch(request, route.terminus, key)
+                    if hedged:
+                        break
+                elapsed += policy.attempt_timeout
+        finally:
+            self.pastry.randomize_routing = saved_randomize
+        success = request.source is not None
+        total_hops += request.extra_hops
+        if success and not hedged and route is not None:
+            self._cache_along_path(
+                route.path, request.certificate, skip={request.responder_id}
+            )
+        self.stats.record_lookup(
+            LookupEvent(
+                file_id=file_id,
+                hops=total_hops,
+                success=success,
+                source=request.source,
+                utilization=self.utilization(),
+                responder_id=request.responder_id,
+                distance=total_distance,
+            )
+        )
+        return LookupResult(
+            success=success,
+            file_id=file_id,
+            source=request.source,
+            responder_id=request.responder_id,
+            certificate=request.certificate,
+            hops=total_hops,
+            content=self._contents.get(file_id) if success else None,
+            distance=total_distance,
+            attempts=max(attempts, 1),
+            elapsed=elapsed,
+            hedged=hedged,
+        )
+
+    def _hedged_fetch(self, request: LookupRequest, terminus_id: int, key: int) -> bool:
+        """Ask each replica holder directly until one serves the file.
+
+        The terminus (numerically closest live node) knows the replica
+        set from its leaf set; the client then issues one direct RPC per
+        holder, each individually subject to the fault plane, stopping at
+        the first that answers.  This is the "fall back across the k
+        replica holders" hedge: it converts "the routed request happened
+        to traverse no live holder" into at most k extra RPCs.
+        """
+        terminus = self._past.get(terminus_id)
+        if terminus is None:
+            return False
+        plan = self.pastry.fault_plan
+        for holder_id in terminus.replica_set_for(key):
+            holder = self._past.get(holder_id)
+            if holder is None:
+                continue
+            request.extra_hops += 1
+            self.pastry.stats.record_rpc()
+            if plan is not None and plan.rpc_lost(request.client_id, holder_id):
+                continue
+            if holder._try_satisfy_lookup(request):
+                return True
+        return False
 
     # ------------------------------------------------------------- reclaim
 

@@ -171,17 +171,31 @@ class PastNode(PastryApplication):
             request.failure_reason = "insufficient nodes for k replicas"
             return False
 
+        plan = self.network.pastry.fault_plan
         placed: List[int] = []
         for member_id in replica_set:
-            member = self.network.past_node(member_id)
+            # The leaf set can name a member that crashed but has not
+            # been detected yet, and with a fault plane the store RPC
+            # itself can be lost; either way this member cannot
+            # acknowledge its replica, so the insert must roll back
+            # (and the client re-salts or retries) rather than crash
+            # the coordinator.
+            member = self.network.past_node_or_none(member_id)
             self.network.pastry.stats.record_rpc()
-            if member.accept_replica(request, replica_set):
+            unreachable = member is None or (
+                plan is not None and plan.rpc_lost(self.node_id, member_id)
+            )
+            if not unreachable and member.accept_replica(request, replica_set):
                 placed.append(member_id)
             else:
                 for placed_id in placed:
-                    self.network.past_node(placed_id).abort_replica(cert.file_id)
+                    holder = self.network.past_node_or_none(placed_id)
+                    if holder is not None:
+                        holder.abort_replica(cert.file_id)
                 request.receipts.clear()
                 request.replica_diversions = 0
+                if unreachable and request.failure_reason is None:
+                    request.failure_reason = "replica-set member unreachable"
                 if request.failure_reason is None:
                     request.failure_reason = "no storage within leaf set"
                 return False
@@ -501,14 +515,22 @@ class PastNode(PastryApplication):
             ]
             if idspace.sort_by_distance(holders, key)[0] != self.node_id:
                 return
+        plan = self.network.pastry.fault_plan
         all_ok = True
         for member_id in needs:
             member = self.network.past_node_or_none(member_id)
             if member is None:
                 all_ok = False
                 continue
-            member.drop_pointer_and_deref(fid)
             self.network.pastry.stats.record_rpc()
+            if plan is not None and plan.rpc_lost(self.node_id, member_id):
+                # The repair RPC was lost mid-leaf-set-repair: this
+                # member keeps its stale entry for now.  The file is
+                # flagged degraded so a later maintenance pass (or
+                # repair_all at quiescence) finishes the job.
+                all_ok = False
+                continue
+            member.drop_pointer_and_deref(fid)
             if member_id == newcomer_id:
                 displaced = self._displaced_member(key, kset, member_id, cert.k)
                 if member.receive_join_offer(cert, displaced, forbidden_targets=seen):

@@ -1,0 +1,81 @@
+"""Client-side resilience: retry, backoff, and hedged replica fallback.
+
+The paper assumes an unreliable transport and pushes recovery to the
+client: "the client must retry" when a request is silently lost (§2.3),
+and randomized routing makes each retry likely to take a different path
+around the node that swallowed the last one.  :class:`RetryPolicy`
+packages that behaviour for :meth:`repro.core.network.PastNetwork.lookup`
+and :meth:`~repro.core.network.PastNetwork.insert`:
+
+* a per-attempt timeout charged in *virtual* time — a lost message is
+  only discovered by the client's timer expiring;
+* exponential backoff between attempts with seeded jitter (all draws
+  come from the network's dedicated client-retry RNG, so runs replay);
+* randomized routing on retries (§2.3) so a retry is not doomed to
+  repeat a bad path;
+* hedged lookups: when a request *is* delivered but finds no replica en
+  route (holders crashed or degraded mid-repair), the client falls back
+  to asking each of the k replica holders directly, in replica-set
+  order, until one answers.
+
+A ``policy=None`` call (the default everywhere) takes the exact
+pre-existing code path — no retry state, no RNG draws — so fault-free
+runs stay byte-identical with or without this module.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client recovers from lost or unanswered requests.
+
+    All durations are virtual-clock seconds.  ``max_attempts`` counts
+    route attempts (1 = no retries); ``op_deadline`` caps the total
+    virtual time a client will spend on one operation, backoffs and
+    timeouts included.
+    """
+
+    max_attempts: int = 5
+    #: Time a client waits before concluding an attempt's request or
+    #: reply was lost (the paper's transport gives no failure signal).
+    attempt_timeout: float = 1.0
+    base_backoff: float = 0.25
+    backoff_factor: float = 2.0
+    #: Jitter fraction: each backoff is scaled by 1 + jitter*U(0,1).
+    jitter: float = 0.5
+    op_deadline: float = 60.0
+    #: Fall back to direct fetches from the k replica holders when a
+    #: delivered lookup found no replica along the route.
+    hedge: bool = True
+    #: Enable randomized routing (§2.3) for attempts after the first.
+    randomize_retries: bool = True
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.attempt_timeout < 0 or self.base_backoff < 0 or self.jitter < 0:
+            raise ValueError("timeouts, backoffs and jitter must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff(self, retry_index: int, rng: random.Random) -> float:
+        """Backoff before the ``retry_index``-th retry (1-based), jittered."""
+        delay = self.base_backoff * self.backoff_factor ** (retry_index - 1)
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+
+#: Policy used by the chaos harness's resilient clients.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+#: A policy that issues exactly one attempt and never hedges — useful as
+#: an explicit "no resilience" baseline that still reports elapsed time.
+NO_RETRY_POLICY = RetryPolicy(
+    max_attempts=1, base_backoff=0.0, jitter=0.0, hedge=False,
+    randomize_retries=False,
+)

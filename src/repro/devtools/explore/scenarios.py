@@ -20,8 +20,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ...core import PastConfig, PastNetwork
+from ...core import PastConfig, PastNetwork, RetryPolicy
+from ...core.seeding import derive_seed
 from ...netsim.eventsim import EventSimulator, SchedulePolicy
+from ...netsim.faults import FaultPlan
 from ...netsim.trace import ScheduleTrace
 from ...pastry import idspace
 from ...pastry.keepalive import KeepAliveMonitor
@@ -108,9 +110,9 @@ def scenario_churn(
     def make_recover(victim: int) -> Callable[[], None]:
         def recover() -> None:
             if victim in net._failed_past:
+                # The monitor re-watches the recovered node by itself (it
+                # listens for overlay recoveries).
                 net.recover_node(victim)
-                monitor.forget(victim)
-                monitor.watch(victim)
         return recover
 
     victims = list(net.pastry.node_ids)
@@ -225,8 +227,6 @@ def scenario_divert(
     def recover() -> None:
         if victim in net._failed_past:
             net.recover_node(victim)
-            monitor.forget(victim)
-            monitor.watch(victim)
 
     sim.schedule_at(3.0, crash)
     sim.schedule_at(6.0, recover)
@@ -238,8 +238,88 @@ def scenario_divert(
     return run
 
 
+def scenario_chaos(
+    seed: int,
+    policy: Optional[SchedulePolicy] = None,
+    trace: Optional[ScheduleTrace] = None,
+) -> ScenarioRun:
+    """Message loss plus a crash/restart, healed before quiescence.
+
+    A seeded fault plane drops ~15% of hops (and keep-alive probes)
+    while resilient clients look files up and one node crashes, loses
+    its disk, and restarts.  The plane is removed at the heal tick and
+    the run continues fault-free through a detection fixpoint plus a
+    repair pass, so the quiescence oracles (overlay audit, no lost or
+    misdelivered verification routes) must hold under every schedule:
+    the explorer searches interleavings of probes, fault decisions,
+    crash, restart and client retries.
+    """
+    rng = random.Random(seed)
+    config = PastConfig(l=8, k=3, seed=seed, cache_policy="none")
+    net = PastNetwork(config)
+    net.build([rng.randrange(500_000, 1_000_000) for _ in range(10)])
+    owner = net.create_client("explore")
+    node_ids = [n.node_id for n in net.nodes()]
+    for i in range(10):
+        size = min(int(rng.lognormvariate(7.2, 2.0)) + 1, 100_000)
+        net.insert(f"h{i}", owner, size, node_ids[rng.randrange(len(node_ids))])
+
+    if trace is None:
+        trace = ScheduleTrace()
+    sim = EventSimulator(trace=trace, policy=policy)
+    monitor = KeepAliveMonitor(
+        sim, net.pastry, on_detect=net.process_failure_detection,
+        interval=1.0, timeout=3.0,
+    )
+    plan = FaultPlan(
+        seed=derive_seed(seed, "explore-chaos"), loss=0.15
+    ).bind_clock(lambda: sim.now)
+    retry = RetryPolicy(max_attempts=4)
+    lookup_rng = random.Random(derive_seed(seed, "explore-chaos-clients"))
+    fids = sorted(net.live_file_ids())
+
+    def lookups() -> None:
+        live = net.pastry.node_ids
+        for _ in range(3):
+            fid = fids[lookup_rng.randrange(len(fids))]
+            origin = live[lookup_rng.randrange(len(live))]
+            net.lookup(fid, origin, policy=retry)
+
+    victim = sorted(net.pastry.node_ids)[0]
+
+    def crash() -> None:
+        if net.pastry.is_live(victim):
+            net.crash_node(victim)
+            net.wipe_failed_disk(victim)
+
+    def recover() -> None:
+        if victim in net._failed_past:
+            net.recover_node(victim)
+
+    def heal() -> None:
+        net.pastry.fault_plan = None
+
+    net.pastry.fault_plan = plan
+    monitor.start()
+    for tick in (1.0, 2.0, 3.0, 5.0, 6.0):
+        sim.schedule_at(tick + 0.5, lookups)
+    sim.schedule_at(2.0, crash)
+    sim.schedule_at(7.0, recover)
+    sim.schedule_at(8.0, heal)
+    # Fault-free tail: a detection timeout plus two probe rounds.
+    sim.run_until(13.0)
+    monitor.stop()
+    net.pastry.fault_plan = None  # in case a schedule never ran heal()
+    net.repair_all()
+
+    run = ScenarioRun(trace=trace, net=net, sim=sim)
+    _verify_routes(net, seed, run)
+    return run
+
+
 SCENARIOS: Dict[str, ScenarioFn] = {
     "churn": scenario_churn,
     "join": scenario_join,
     "divert": scenario_divert,
+    "chaos": scenario_chaos,
 }

@@ -14,6 +14,9 @@ Each public function regenerates one table or figure:
   ``run_figure6``, ``run_figure7`` — the diversion/failure-vs-utilization
   figures.
 * :func:`repro.experiments.caching.run_figure8` — caching policies.
+* :mod:`repro.experiments.chaos` — fault-injection harness with
+  availability and §3.5 durability oracles (not a paper figure; run it
+  with ``python -m repro.experiments.chaos``).
 
 Experiments are scaled by node count relative to the paper's 2250-node
 runs; all ratios that drive the published shapes (file size vs. node
@@ -21,6 +24,9 @@ capacity distribution, oversubscription, k, thresholds) are preserved.
 """
 
 from .harness import StorageRunConfig, StorageRunResult, run_storage_trace
+# chaos is deliberately not imported here: it is run as a module
+# (``python -m repro.experiments.chaos``), and a package-level import
+# would trigger runpy's double-import warning on every invocation.
 from . import storage, caching, churn, locality, recovery, security
 
 __all__ = [

@@ -1,0 +1,493 @@
+"""Chaos harness: PAST under injected loss, partitions and crash storms.
+
+The paper's robustness story has two empirical claims this harness
+checks end-to-end against a :class:`~repro.netsim.faults.FaultPlan`:
+
+* **Availability (§2.3)** — a request lost in transit is recovered by
+  the *client*: retry with randomized routing, and fall back across the
+  k replica holders.  :func:`run_loss_sweep` measures lookup success
+  under uniform message loss with and without a
+  :class:`~repro.core.resilience.RetryPolicy`.
+* **Durability (§3.5)** — "the probability of losing a file is very
+  small: it requires the simultaneous failure of a file's k replica
+  holders within a recovery period".  :func:`run_durability_demo` runs
+  a crash storm whose interarrival dwarfs the recovery period (no file
+  may be lost) and an overlapping storm that crashes one file's entire
+  replica set inside a single detection window (that file — and only
+  files hit like that — must be reported lost, by id, by the oracle).
+
+Every run is driven by one seeded :class:`EventSimulator` with a
+:class:`ScheduleTrace`, so a report includes the trace digest: two runs
+with the same config are byte-identical, which CI checks across
+different ``PYTHONHASHSEED`` values.
+
+Oracle soundness: the availability/durability oracles audit the network
+*after* a quiescence protocol — fault plane removed (heal), crashed
+nodes restarted, failure detection run to fixpoint, then a full
+``repair_all()`` pass.  Mid-chaos audits would flag transient states
+(dangling pointers whose repair RPC was lost, undetected crashes) that
+the protocol is explicitly allowed to be in during a recovery period.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core import PastConfig, PastNetwork, RetryPolicy, audit, derive_seed
+from ..core.invariants import AuditReport
+from ..netsim import EventSimulator, FaultPlan, ScheduleTrace
+from ..pastry import idspace
+from ..pastry.keepalive import KeepAliveMonitor
+
+import random
+
+
+@dataclass
+class ChaosConfig:
+    """One chaos scenario: a deployment, a workload, and a fault plan."""
+
+    seed: int = 0
+    n_nodes: int = 20
+    n_files: int = 24
+    k: int = 5
+    l: int = 8
+    cache_policy: str = "none"
+    #: Uniform per-hop message-loss probability while faults are active.
+    loss: float = 0.0
+    delay_mean: float = 0.0
+    duplicate: float = 0.0
+    #: Fraction of nodes marked "gray" (flaky links, see FaultPlan).
+    gray_fraction: float = 0.0
+    gray_loss: float = 0.5
+    #: Cut half the ring off in [partition_at, partition_heal_at).
+    partition: bool = False
+    partition_at: float = 4.0
+    partition_heal_at: float = 9.0
+    #: Independent crash storm: this many victims, seeded-exponential
+    #: interarrival, each restarting ``restart_after`` later.
+    crash_count: int = 0
+    crash_interarrival: float = 10.0
+    crash_start: float = 2.0
+    restart_after: float = 5.0
+    wipe_disks: bool = True
+    #: Overlapping-failure mode: crash the entire replica set of the
+    #: first inserted file within one detection window (§3.5's loss
+    #: condition), ``overlap_spacing`` apart.
+    crash_target_replica_set: bool = False
+    overlap_spacing: float = 0.1
+    #: Client workload: ``lookups_per_tick`` lookups per virtual second.
+    lookups_per_tick: int = 8
+    duration: float = 25.0
+    probe_interval: float = 1.0
+    probe_timeout: float = 3.0
+    #: Client resilience (None = the no-retry baseline client).
+    policy: Optional[RetryPolicy] = None
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run measured, JSON-serializable."""
+
+    scenario: str
+    seed: int
+    digest: str
+    lookups_attempted: int = 0
+    lookups_succeeded: int = 0
+    hedged_successes: int = 0
+    total_attempts: int = 0
+    crashes_applied: int = 0
+    restarts_applied: int = 0
+    #: FaultPlan counters at heal time.
+    messages_lost: int = 0
+    partition_drops: int = 0
+    probes_lost: int = 0
+    rpcs_lost: int = 0
+    duplicates: int = 0
+    #: Durability oracle (post-quiescence).
+    lost_files: int = 0
+    lost_file_ids: List[str] = field(default_factory=list)
+    target_file_id: Optional[str] = None
+    degraded_files: int = 0
+    audit_ok: bool = True
+    violations: List[str] = field(default_factory=list)
+    false_detections: int = 0
+
+    @property
+    def lookup_success(self) -> float:
+        if not self.lookups_attempted:
+            return 1.0
+        return self.lookups_succeeded / self.lookups_attempted
+
+    @property
+    def mean_attempts(self) -> float:
+        if not self.lookups_attempted:
+            return 0.0
+        return self.total_attempts / self.lookups_attempted
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["lookup_success"] = round(self.lookup_success, 6)
+        payload["mean_attempts"] = round(self.mean_attempts, 4)
+        return json.dumps(payload, sort_keys=True, indent=2)
+
+
+def _build_deployment(cfg: ChaosConfig, rng: random.Random) -> PastNetwork:
+    """A clean, fault-free deployment with n_files fully replicated."""
+    config = PastConfig(
+        l=cfg.l, k=cfg.k, seed=cfg.seed, cache_policy=cfg.cache_policy
+    )
+    net = PastNetwork(config)
+    net.build([rng.randrange(500_000, 1_000_000) for _ in range(cfg.n_nodes)])
+    owner = net.create_client("chaos")
+    node_ids = [n.node_id for n in net.nodes()]
+    for i in range(cfg.n_files):
+        size = min(int(rng.lognormvariate(7.2, 1.5)) + 1, 50_000)
+        result = net.insert(
+            f"x{i}", owner, size, node_ids[rng.randrange(len(node_ids))]
+        )
+        if not result.success:
+            raise RuntimeError("chaos setup could not place its files")
+    return net
+
+
+def _make_plan(cfg: ChaosConfig, net: PastNetwork, sim: EventSimulator,
+               rng: random.Random) -> FaultPlan:
+    plan = FaultPlan(
+        seed=derive_seed(cfg.seed, "chaos-faults"),
+        loss=cfg.loss,
+        delay_mean=cfg.delay_mean,
+        duplicate=cfg.duplicate,
+        gray_loss=cfg.gray_loss,
+    ).bind_clock(lambda: sim.now)
+    node_ids = sorted(net.pastry.node_ids)
+    if cfg.gray_fraction > 0.0:
+        shuffled = list(node_ids)
+        rng.shuffle(shuffled)
+        for node_id in shuffled[: max(1, int(cfg.gray_fraction * len(shuffled)))]:
+            plan.mark_gray(node_id)
+    if cfg.partition:
+        plan.add_partition(
+            at=cfg.partition_at,
+            heal_at=cfg.partition_heal_at,
+            group=node_ids[: len(node_ids) // 2],
+        )
+    if cfg.crash_count > 0:
+        shuffled = list(node_ids)
+        rng.shuffle(shuffled)
+        plan.schedule_crash_storm(
+            shuffled[: cfg.crash_count],
+            start=cfg.crash_start,
+            interarrival=cfg.crash_interarrival,
+            restart_after=cfg.restart_after,
+            wipe_disk=cfg.wipe_disks,
+        )
+    return plan
+
+
+def run_chaos(cfg: ChaosConfig, scenario: str = "custom",
+              trace: Optional[ScheduleTrace] = None) -> ChaosReport:
+    """Execute one chaos scenario end to end and audit the aftermath."""
+    rng = random.Random(derive_seed(cfg.seed, "chaos-harness"))
+    net = _build_deployment(cfg, rng)
+    fids = sorted(net.live_file_ids())
+    if trace is None:
+        trace = ScheduleTrace()
+    sim = EventSimulator(trace=trace)
+    report = ChaosReport(scenario=scenario, seed=cfg.seed, digest="")
+
+    def on_detect(node_id: int) -> None:
+        # Sustained probe loss can make a *live* peer look dead; PAST's
+        # detection handler ignores those, but count them — they are the
+        # price of a loss-tolerant detector.
+        if net.pastry.is_live(node_id):
+            report.false_detections += 1
+        net.process_failure_detection(node_id)
+
+    monitor = KeepAliveMonitor(
+        sim, net.pastry, on_detect=on_detect,
+        interval=cfg.probe_interval, timeout=cfg.probe_timeout,
+    )
+    plan = _make_plan(cfg, net, sim, rng)
+
+    target_fid: Optional[int] = None
+    if cfg.crash_target_replica_set:
+        # §3.5's loss condition, made flesh: every replica holder of one
+        # file dies inside a single detection window, disks wiped.
+        target_fid = fids[0]
+        holders = net.pastry.k_closest_live(
+            idspace.routing_key(target_fid), cfg.k
+        )
+        when = cfg.crash_start
+        for holder in holders:
+            plan.schedule_crash(
+                when, holder,
+                restart_at=when + cfg.restart_after,
+                wipe_disk=True,
+            )
+            when += cfg.overlap_spacing
+
+    if target_fid is not None:
+        report.target_file_id = hex(target_fid)
+
+    # -- apply the crash schedule through the simulator ------------------
+    def make_crash(event):
+        def crash() -> None:
+            if net.pastry.is_live(event.node_id) and len(net) > cfg.k + 2:
+                net.crash_node(event.node_id)
+                if event.wipe_disk:
+                    net.wipe_failed_disk(event.node_id)
+                report.crashes_applied += 1
+        return crash
+
+    def make_restart(event):
+        def restart() -> None:
+            if event.node_id in net._failed_past:
+                net.recover_node(event.node_id)
+                report.restarts_applied += 1
+        return restart
+
+    for event in plan.crashes:
+        sim.schedule_at(event.time, make_crash(event))
+        if event.restart_at is not None:
+            sim.schedule_at(event.restart_at, make_restart(event))
+
+    # -- client workload -------------------------------------------------
+    lookup_rng = random.Random(derive_seed(cfg.seed, "chaos-clients"))
+
+    def lookup_tick() -> None:
+        live = net.pastry.node_ids
+        if not live:
+            return
+        for _ in range(cfg.lookups_per_tick):
+            fid = fids[lookup_rng.randrange(len(fids))]
+            origin = live[lookup_rng.randrange(len(live))]
+            result = net.lookup(fid, origin, policy=cfg.policy)
+            report.lookups_attempted += 1
+            report.total_attempts += result.attempts
+            if result.success:
+                report.lookups_succeeded += 1
+                if result.hedged:
+                    report.hedged_successes += 1
+
+    tick = 0.5
+    while tick < cfg.duration:
+        sim.schedule_at(tick, lookup_tick)
+        tick += 1.0
+
+    # -- run under faults, then heal and quiesce -------------------------
+    net.pastry.fault_plan = plan
+    monitor.start()
+    sim.run_until(cfg.duration)
+
+    # Heal: the fault plane is removed entirely — loss, partitions and
+    # gray links all end here.
+    net.pastry.fault_plan = None
+    report.messages_lost = plan.stats.messages_lost
+    report.partition_drops = plan.stats.partition_drops
+    report.probes_lost = plan.stats.probes_lost
+    report.rpcs_lost = plan.stats.rpcs_lost
+    report.duplicates = plan.stats.duplicates
+
+    # Restart anything still down (operators replace dead machines) so
+    # the overlay audit runs at a true fixpoint; wiped disks stay wiped,
+    # so this cannot resurrect a lost file.
+    for node_id in sorted(net._failed_past):
+        net.recover_node(node_id)
+        report.restarts_applied += 1
+    # Detection fixpoint: one full timeout plus two probe intervals of
+    # fault-free probing flushes every pending detection.
+    sim.run_until(cfg.duration + cfg.probe_timeout + 2 * cfg.probe_interval)
+    monitor.stop()
+    net.repair_all()
+
+    # -- oracles ----------------------------------------------------------
+    outcome: AuditReport = audit(net, check_overlay=True)
+    report.audit_ok = outcome.ok
+    report.violations = [str(v) for v in outcome.violations]
+    report.lost_files = outcome.lost_files
+    report.lost_file_ids = [hex(fid) for fid in sorted(outcome.lost_file_ids)]
+    report.degraded_files = len(net.degraded_files)
+    report.digest = trace.digest()
+    return report
+
+
+# --------------------------------------------------------------- sweeps
+
+
+def run_loss_sweep(
+    seed: int = 0,
+    loss_rates: Optional[Sequence[float]] = None,
+    policy: Optional[RetryPolicy] = None,
+) -> List[ChaosReport]:
+    """Baseline vs. resilient lookups across uniform loss rates.
+
+    For each rate, runs the identical workload twice: once with the
+    bare no-retry client and once under ``policy``.  The acceptance
+    target is ≥99% lookup success at 10% loss with the policy on.
+    """
+    loss_rates = list(loss_rates if loss_rates is not None else (0.0, 0.05, 0.10))
+    policy = policy if policy is not None else RetryPolicy(max_attempts=6)
+    out: List[ChaosReport] = []
+    for rate in loss_rates:
+        for pol, tag in ((None, "baseline"), (policy, "retry+hedge")):
+            cfg = ChaosConfig(seed=seed, loss=rate, policy=pol)
+            out.append(run_chaos(cfg, scenario=f"loss={rate:g}/{tag}"))
+    return out
+
+
+def run_partition_heal(seed: int = 0) -> ChaosReport:
+    """Partition half the ring, lose a little background traffic, heal.
+
+    Partitions degrade availability while active but never durability:
+    the oracle must report zero lost files and a clean audit after heal.
+    """
+    cfg = ChaosConfig(
+        seed=seed,
+        loss=0.02,
+        partition=True,
+        partition_at=4.0,
+        partition_heal_at=12.0,
+        policy=RetryPolicy(max_attempts=4),
+    )
+    return run_chaos(cfg, scenario="partition-heal")
+
+
+def run_durability_demo(seed: int = 0) -> Dict[str, ChaosReport]:
+    """The §3.5 durability claim, both directions.
+
+    ``spaced``: loss ≤5%, crash interarrival (10s) ≫ recovery period
+    (probe timeout 3s + interval 1s), k=5, wiped disks → re-replication
+    outruns the storm and **zero** files may be lost.
+
+    ``overlapping``: the entire replica set of one file dies within half
+    a second — inside one detection window — with wiped disks.  That
+    file is unrecoverable, and the durability oracle must name it.
+    """
+    spaced = run_chaos(
+        ChaosConfig(
+            seed=seed,
+            loss=0.05,
+            crash_count=4,
+            crash_interarrival=10.0,
+            restart_after=5.0,
+            wipe_disks=True,
+            duration=50.0,
+            policy=RetryPolicy(max_attempts=6),
+        ),
+        scenario="durability/spaced",
+    )
+    overlapping = run_chaos(
+        ChaosConfig(
+            seed=seed,
+            loss=0.05,
+            crash_target_replica_set=True,
+            overlap_spacing=0.1,
+            restart_after=6.0,
+            wipe_disks=True,
+            policy=RetryPolicy(max_attempts=6),
+        ),
+        scenario="durability/overlapping",
+    )
+    return {"spaced": spaced, "overlapping": overlapping}
+
+
+# ------------------------------------------------------------------ CLI
+
+
+def _format_report(r: ChaosReport) -> str:
+    parts = [
+        f"{r.scenario:28s}",
+        f"lookups {r.lookups_succeeded}/{r.lookups_attempted}",
+        f"({100 * r.lookup_success:6.2f}%)",
+        f"attempts/op {r.mean_attempts:.2f}",
+        f"hedged {r.hedged_successes}",
+        f"lost-msgs {r.messages_lost}",
+        f"lost-files {r.lost_files}",
+        f"audit {'ok' if r.audit_ok else 'VIOLATED'}",
+    ]
+    line = "  ".join(parts)
+    if r.lost_file_ids:
+        line += "\n" + " " * 30 + "lost: " + ", ".join(r.lost_file_ids)
+    return line
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.chaos",
+        description="PAST chaos harness: loss sweeps, partitions, crash storms.",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=["loss-sweep", "partition", "durability", "all"],
+        default="all",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output (stable across runs)")
+    args = parser.parse_args(argv)
+
+    reports: List[ChaosReport] = []
+    failures: List[str] = []
+    if args.scenario in ("loss-sweep", "all"):
+        sweep = run_loss_sweep(seed=args.seed)
+        reports.extend(sweep)
+        resilient_at_10 = [
+            r for r in sweep if r.scenario == "loss=0.1/retry+hedge"
+        ]
+        if resilient_at_10 and resilient_at_10[0].lookup_success < 0.99:
+            failures.append(
+                "resilient lookup success under 10% loss fell below 99%: "
+                f"{resilient_at_10[0].lookup_success:.4f}"
+            )
+    if args.scenario in ("partition", "all"):
+        r = run_partition_heal(seed=args.seed)
+        reports.append(r)
+        if r.lost_files or not r.audit_ok:
+            failures.append("partition/heal lost files or left a dirty audit")
+    if args.scenario in ("durability", "all"):
+        demo = run_durability_demo(seed=args.seed)
+        reports.extend(demo.values())
+        if demo["spaced"].lost_files != 0:
+            failures.append("spaced crash storm lost files (should be zero)")
+        if demo["overlapping"].target_file_id not in demo["overlapping"].lost_file_ids:
+            failures.append(
+                "overlapping storm did not report the doomed file as lost"
+            )
+
+    if args.json:
+        print(json.dumps(
+            {
+                "seed": args.seed,
+                "reports": [json.loads(r.to_json()) for r in reports],
+                "failures": failures,
+            },
+            sort_keys=True, indent=2,
+        ))
+    else:
+        for r in reports:
+            print(_format_report(r))
+        print()
+        print("combined trace digest:", _combined_digest(reports))
+        if failures:
+            for f in failures:
+                print("FAIL:", f)
+        else:
+            print("all chaos oracles satisfied")
+    return 1 if failures else 0
+
+
+def _combined_digest(reports: List[ChaosReport]) -> str:
+    import hashlib
+
+    h = hashlib.sha256()
+    for r in reports:
+        h.update(r.digest.encode("ascii"))
+    return h.hexdigest()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -18,22 +18,36 @@ from .eventsim import (
     SchedulePolicy,
 )
 from .trace import Decision, ScheduleTrace, TraceEvent
+from .faults import (
+    NEVER,
+    CrashEvent,
+    FaultPlan,
+    FaultStats,
+    Partition,
+    Transmission,
+)
 
 __all__ = [
     "Coordinate",
     "SphereTopology",
     "TorusTopology",
     "ClusteredTopology",
+    "CrashEvent",
     "Decision",
     "EventHandle",
     "EventSimulator",
+    "FaultPlan",
+    "FaultStats",
     "MessageStats",
     "LatencyModel",
+    "NEVER",
     "PAPER_PER_HOP_MS",
+    "Partition",
     "PendingEvent",
     "PeriodicTimer",
     "SchedulePolicy",
     "ScheduleTrace",
     "TraceEvent",
+    "Transmission",
     "percentiles",
 ]

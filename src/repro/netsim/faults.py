@@ -1,0 +1,305 @@
+"""Deterministic fault-injection plane for the network emulation.
+
+The emulator's message plane is perfectly reliable by default, yet the
+paper's robustness claims are exactly about an unreliable one: §2.3 says
+a client whose request is lost "must retry" under randomized routing,
+and §3.5's durability argument counts a file lost only when all k
+replica holders fail within one recovery period.  A :class:`FaultPlan`
+is a seeded, replayable description of adversity — per-link message
+loss, delay and duplication, network partitions with heal events,
+silent-crash/restart schedules, and flaky "gray" nodes — that upper
+layers *consult* at every transmission point:
+
+* :meth:`repro.pastry.network.PastryNetwork.route` asks the plan about
+  every overlay hop (:meth:`FaultPlan.transmit`);
+* :class:`repro.pastry.keepalive.KeepAliveMonitor` asks it about every
+  keep-alive probe, and PAST's maintenance/fetch RPCs ask about
+  request/reply pairs (:meth:`FaultPlan.rpc_lost`).
+
+Layering: this module knows nothing about Pastry or PAST — nodes are
+plain integers, time is whatever the bound clock callable returns — so
+``netsim`` stays a leaf package.  Determinism: all randomness comes from
+one ``random.Random`` seeded in the constructor and consumed in call
+order, so two runs that issue the same transmissions in the same order
+make identical fault decisions.  A plan that injects nothing draws
+nothing, and an absent plan (``None``) costs the hot path a single
+attribute check — the zero-cost-abstraction property the determinism
+regression suite pins.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+#: Effectively "never heals" for partition end times.
+NEVER = float("inf")
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One network cut: ``group`` vs. everyone else, active in [start, end).
+
+    A message (or probe) crossing the cut while it is active is lost
+    with certainty; traffic within either side is unaffected.  ``end``
+    is the heal time (:data:`NEVER` for a permanent cut).
+    """
+
+    start: float
+    end: float
+    group: FrozenSet[int]
+
+    def severs(self, a: int, b: int, now: float) -> bool:
+        """True when the link a<->b crosses the cut at time ``now``."""
+        if not self.start <= now < self.end:
+            return False
+        return (a in self.group) != (b in self.group)
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One silent crash (and optional restart) in a fault schedule.
+
+    The plan only *describes* the event; the harness driving the
+    simulation applies it (crash the node, wipe its disk, schedule the
+    restart).  Keeping application out of this layer lets the same plan
+    drive a Pastry-only overlay or a full PAST deployment.
+    """
+
+    time: float
+    node_id: int
+    restart_at: Optional[float] = None
+    wipe_disk: bool = False
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """The plan's verdict on one message hop."""
+
+    lost: bool = False
+    #: Virtual-time latency injected into this hop (0 when undelayed).
+    delay: float = 0.0
+    #: The receiver gets a second, independently-routed copy.
+    duplicate: bool = False
+
+
+#: Verdict singletons for the two common no-draw cases.
+_CLEAN = Transmission()
+_LOST = Transmission(lost=True)
+
+
+@dataclass
+class FaultStats:
+    """Counters for every fault the plan actually injected."""
+
+    messages_lost: int = 0
+    partition_drops: int = 0
+    probes_lost: int = 0
+    rpcs_lost: int = 0
+    duplicates: int = 0
+    delays_injected: int = 0
+    delay_total: float = 0.0
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of network adversity.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the plan's private RNG; all probabilistic decisions are
+        drawn from it in call order.
+    loss:
+        Uniform per-hop message-loss probability.
+    delay_mean:
+        Mean of the exponential per-hop extra latency (0 disables).
+    duplicate:
+        Per-hop probability that the receiver gets a second copy.
+    gray_loss:
+        Loss probability applied to any link touching a gray node
+        (combined with ``loss`` by taking the maximum).
+
+    Per-link overrides (:attr:`link_loss`), partitions, gray nodes and
+    the crash schedule are configured through the builder methods so a
+    plan reads as a small declarative script::
+
+        plan = FaultPlan(seed=7, loss=0.05)
+        plan.add_partition(at=4.0, heal_at=9.0, group=node_ids[:5])
+        plan.mark_gray(node_ids[8], gray_loss=0.5)
+        plan.schedule_crash(2.0, node_ids[3], restart_at=8.0, wipe_disk=True)
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        loss: float = 0.0,
+        delay_mean: float = 0.0,
+        duplicate: float = 0.0,
+        gray_loss: float = 0.5,
+    ):
+        for name, p in (("loss", loss), ("duplicate", duplicate),
+                        ("gray_loss", gray_loss)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if delay_mean < 0.0:
+            raise ValueError("delay_mean must be non-negative")
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.loss = loss
+        self.delay_mean = delay_mean
+        self.duplicate = duplicate
+        self.gray_loss = gray_loss
+        #: (src, dst) -> loss probability overriding the uniform rate.
+        self.link_loss: Dict[Tuple[int, int], float] = {}
+        self.gray_nodes: Set[int] = set()
+        self.partitions: List[Partition] = []
+        self.crashes: List[CrashEvent] = []
+        self.stats = FaultStats()
+        #: Test/instrumentation hook run before each hop's fault decision
+        #: with ``(src, dst)`` — e.g. crash the chosen next hop mid-route.
+        self.on_transmit: Optional[Callable[[int, int], None]] = None
+        self._now: Callable[[], float] = lambda: 0.0
+
+    # ------------------------------------------------------------- building
+
+    def bind_clock(self, now_fn: Callable[[], float]) -> "FaultPlan":
+        """Attach the virtual clock that timed faults (partitions) read."""
+        self._now = now_fn
+        return self
+
+    @property
+    def now(self) -> float:
+        return self._now()
+
+    def add_partition(self, at: float, heal_at: float, group) -> Partition:
+        """Cut ``group`` off from the rest of the network in [at, heal_at)."""
+        if heal_at < at:
+            raise ValueError("a partition cannot heal before it starts")
+        partition = Partition(start=at, end=heal_at, group=frozenset(group))
+        self.partitions.append(partition)
+        return partition
+
+    def mark_gray(self, node_id: int, gray_loss: Optional[float] = None) -> None:
+        """Flag a node as flaky: links touching it lose messages often."""
+        if gray_loss is not None:
+            if not 0.0 <= gray_loss <= 1.0:
+                raise ValueError(f"gray_loss must be a probability, got {gray_loss}")
+            self.gray_loss = gray_loss
+        self.gray_nodes.add(node_id)
+
+    def set_link_loss(self, src: int, dst: int, p: float) -> None:
+        """Override the loss probability of one directed link."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"link loss must be a probability, got {p}")
+        self.link_loss[(src, dst)] = p
+
+    def schedule_crash(
+        self,
+        time: float,
+        node_id: int,
+        restart_at: Optional[float] = None,
+        wipe_disk: bool = False,
+    ) -> CrashEvent:
+        """Add a silent crash (and optional restart) to the schedule."""
+        if restart_at is not None and restart_at < time:
+            raise ValueError("restart cannot precede the crash")
+        event = CrashEvent(time, node_id, restart_at, wipe_disk)
+        self.crashes.append(event)
+        return event
+
+    def schedule_crash_storm(
+        self,
+        node_ids: Sequence[int],
+        start: float,
+        interarrival: float,
+        restart_after: Optional[float] = None,
+        wipe_disk: bool = False,
+    ) -> List[CrashEvent]:
+        """Crash ``node_ids`` in order, seeded-exponential interarrivals.
+
+        ``interarrival`` is the mean gap between consecutive crashes.
+        When it is much larger than the deployment's recovery period the
+        §3.5 durability argument predicts zero lost files; pushing it
+        *below* the recovery period is how the chaos harness reproduces
+        overlapping failures that defeat k-replication.
+        """
+        if interarrival <= 0:
+            raise ValueError("interarrival must be positive")
+        out = []
+        when = start
+        for node_id in node_ids:
+            when += self.rng.expovariate(1.0 / interarrival)
+            restart = None if restart_after is None else when + restart_after
+            out.append(self.schedule_crash(when, node_id, restart, wipe_disk))
+        return out
+
+    # ------------------------------------------------------------ decisions
+
+    def _severed(self, a: int, b: int) -> bool:
+        if not self.partitions:
+            return False
+        now = self._now()
+        return any(p.severs(a, b, now) for p in self.partitions)
+
+    def _loss_probability(self, src: int, dst: int) -> float:
+        p = self.link_loss.get((src, dst), self.loss)
+        if self.gray_nodes and (src in self.gray_nodes or dst in self.gray_nodes):
+            p = max(p, self.gray_loss)
+        return p
+
+    def transmit(self, src: int, dst: int) -> Transmission:
+        """Decide the fate of one routed overlay hop ``src -> dst``."""
+        if self.on_transmit is not None:
+            self.on_transmit(src, dst)
+        if self._severed(src, dst):
+            self.stats.messages_lost += 1
+            self.stats.partition_drops += 1
+            return _LOST
+        p = self._loss_probability(src, dst)
+        if p > 0.0 and self.rng.random() < p:
+            self.stats.messages_lost += 1
+            return _LOST
+        delay = 0.0
+        if self.delay_mean > 0.0:
+            delay = self.rng.expovariate(1.0 / self.delay_mean)
+            self.stats.delays_injected += 1
+            self.stats.delay_total += delay
+        duplicate = False
+        if self.duplicate > 0.0 and self.rng.random() < self.duplicate:
+            duplicate = True
+            self.stats.duplicates += 1
+        if delay == 0.0 and not duplicate:
+            return _CLEAN
+        return Transmission(lost=False, delay=delay, duplicate=duplicate)
+
+    def rpc_lost(self, a: int, b: int) -> bool:
+        """Decide the fate of a request/reply pair between two nodes.
+
+        Used for keep-alive probes and direct (non-routed) RPCs such as
+        hedged replica fetches.  The request and the reply each face the
+        link's loss probability; loss is decided *before* any side
+        effect, so a lost RPC behaves as if the request never arrived
+        (the reply-lost-after-effect case is not modelled — see
+        DESIGN.md §4e for why the oracles stay sound).
+        """
+        if self._severed(a, b):
+            self.stats.rpcs_lost += 1
+            return True
+        p_there = self._loss_probability(a, b)
+        p_back = self._loss_probability(b, a)
+        if p_there > 0.0 and self.rng.random() < p_there:
+            self.stats.rpcs_lost += 1
+            return True
+        if p_back > 0.0 and self.rng.random() < p_back:
+            self.stats.rpcs_lost += 1
+            return True
+        return False
+
+    def probe_lost(self, observer: int, peer: int) -> bool:
+        """Keep-alive probe verdict (an rpc with its own counter)."""
+        if self.rpc_lost(observer, peer):
+            self.stats.rpcs_lost -= 1
+            self.stats.probes_lost += 1
+            return True
+        return False

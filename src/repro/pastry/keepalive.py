@@ -16,6 +16,18 @@ detection callback — in a PAST deployment,
 The resulting detection latency is ``timeout`` plus up to one probe
 ``interval``, which is exactly the "recovery period" the availability
 analysis sweeps.
+
+Probes traverse the emulated network, so when the overlay has a
+:class:`~repro.netsim.faults.FaultPlan` installed each probe is subject
+to loss and partitions.  Under sustained loss a *live* peer can be
+presumed failed (a false positive the real protocol also exhibits); the
+first probe that does get through refutes the presumption so the peer
+becomes re-detectable if it later truly fails.
+
+Recovered nodes are re-watched automatically: the monitor registers a
+recovery listener with the overlay, so a node brought back by
+``recover_node`` resumes probing (and becomes re-detectable) without the
+scenario having to remember to call :meth:`forget`/:meth:`watch`.
 """
 
 from __future__ import annotations
@@ -49,30 +61,85 @@ class KeepAliveMonitor:
         self.detected: Set[int] = set()
         self.probes_sent = 0
         self._timers = {}
+        # Per-node indexes over last_heard, so unwatch()/forget() clean up
+        # in O(degree) instead of scanning the whole dict.
+        self._peers_of: Dict[int, Set[int]] = {}
+        self._observers_of: Dict[int, Set[int]] = {}
+        self._active = False
+        pastry.add_recovery_listener(self._on_recover)
 
     # ------------------------------------------------------------ lifecycle
 
     def start(self) -> None:
         """Begin probing from every currently live node."""
+        self._active = True
         for node in self.pastry.nodes():
             self.watch(node.node_id)
 
     def watch(self, node_id: int) -> None:
-        """Start this node's periodic probe timer (idempotent)."""
+        """Start this node's periodic probe timer (idempotent).
+
+        The peers currently in the node's leaf set are seeded into
+        ``last_heard`` *now*: their timeout window starts at watch time,
+        not backdated to a probe interval before first contact.
+        """
         if node_id in self._timers:
             return
+        node = self.pastry.get_live(node_id)
+        if node is not None:
+            now = self.sim.now
+            for peer_id in sorted(node.leafset.members()):
+                self._record_heard(node_id, peer_id, now)
         self._timers[node_id] = self.sim.every(
             self.interval, lambda nid=node_id: self._probe_round(nid)
         )
 
     def unwatch(self, node_id: int) -> None:
+        """Stop the node's probe timer and drop its observer-side state.
+
+        Entries where the node is the *peer* are left alone: other
+        observers are still probing it.
+        """
         timer = self._timers.pop(node_id, None)
         if timer is not None:
             timer.stop()
+        for peer_id in sorted(self._peers_of.get(node_id, ())):
+            self._drop_entry(node_id, peer_id)
 
     def stop(self) -> None:
+        self._active = False
         for node_id in list(self._timers):
             self.unwatch(node_id)
+
+    def _on_recover(self, node_id: int) -> None:
+        """Overlay recovery listener: make the node re-detectable and,
+        while the monitor is running, resume probing from it."""
+        self.forget(node_id)
+        if self._active:
+            self.watch(node_id)
+
+    # ----------------------------------------------------------- bookkeeping
+
+    def _record_heard(self, observer_id: int, peer_id: int, when: float) -> None:
+        key = (observer_id, peer_id)
+        if key not in self.last_heard:
+            self._peers_of.setdefault(observer_id, set()).add(peer_id)
+            self._observers_of.setdefault(peer_id, set()).add(observer_id)
+        self.last_heard[key] = when
+
+    def _drop_entry(self, observer_id: int, peer_id: int) -> None:
+        if self.last_heard.pop((observer_id, peer_id), None) is None:
+            return
+        peers = self._peers_of.get(observer_id)
+        if peers is not None:
+            peers.discard(peer_id)
+            if not peers:
+                del self._peers_of[observer_id]
+        observers = self._observers_of.get(peer_id)
+        if observers is not None:
+            observers.discard(observer_id)
+            if not observers:
+                del self._observers_of[peer_id]
 
     # -------------------------------------------------------------- probing
 
@@ -83,15 +150,26 @@ class KeepAliveMonitor:
             self.unwatch(observer_id)
             return
         now = self.sim.now
+        plan = self.pastry.fault_plan
         # Sorted: on_detect can trigger repairs, so detection order within
         # a probe round must not depend on set iteration order.
         for peer_id in sorted(observer.leafset.members()):
             self.probes_sent += 1
-            key = (observer_id, peer_id)
             if self.pastry.is_live(peer_id):
-                self.last_heard[key] = now
+                if plan is None or not plan.probe_lost(observer_id, peer_id):
+                    self._record_heard(observer_id, peer_id, now)
+                    # A live answer refutes an earlier (loss-induced)
+                    # presumption of failure: the peer is re-detectable.
+                    self.detected.discard(peer_id)
+                    continue
+                # The probe (or its reply) was lost: to the observer this
+                # round is indistinguishable from a dead peer.
+            last = self.last_heard.get((observer_id, peer_id))
+            if last is None:
+                # A peer that entered the leaf set after watch() and has
+                # never answered: its window starts now.
+                self._record_heard(observer_id, peer_id, now)
                 continue
-            last = self.last_heard.setdefault(key, now - self.interval)
             if now - last >= self.timeout and peer_id not in self.detected:
                 # Presumed failed: the witness's keep-alives went
                 # unanswered for T.  Fire detection exactly once.
@@ -101,5 +179,7 @@ class KeepAliveMonitor:
     def forget(self, node_id: int) -> None:
         """Clear detection state (e.g. after the node recovers)."""
         self.detected.discard(node_id)
-        for key in [k for k in self.last_heard if node_id in k]:
-            del self.last_heard[key]
+        for observer_id in sorted(self._observers_of.get(node_id, ())):
+            self._drop_entry(observer_id, node_id)
+        for peer_id in sorted(self._peers_of.get(node_id, ())):
+            self._drop_entry(node_id, peer_id)

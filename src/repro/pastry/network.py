@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..netsim import MessageStats, TorusTopology
+from ..netsim.faults import FaultPlan
 from ..netsim.topology import Topology
 from . import idspace
 from .node import PastryNode
@@ -55,6 +56,10 @@ class DeliveryRecord:
     hops: int
     intercepted: bool
     dropped: bool
+    #: The fault plane lost the message in flight (no delivery happened).
+    lost: bool = False
+    #: This record is the extra copy created by link-level duplication.
+    duplicate: bool = False
 
     @property
     def misdelivered(self) -> bool:
@@ -62,6 +67,7 @@ class DeliveryRecord:
         return (
             not self.intercepted
             and not self.dropped
+            and not self.lost
             and self.terminus != self.closest_live
         )
 
@@ -76,6 +82,10 @@ class RouteResult:
     distance: float = 0.0
     #: True when a malicious node silently absorbed the message (§2.3).
     dropped: bool = False
+    #: True when the fault plane lost the message on some hop.
+    lost: bool = False
+    #: Virtual-time latency injected by the fault plane along the path.
+    latency: float = 0.0
 
     @property
     def hops(self) -> int:
@@ -108,6 +118,12 @@ class PastryNetwork:
         #: can be verified"; forged entries are rejected, suppression is
         #: the worst an attacker can do).
         self.identity_verifier = None
+        #: Optional fault-injection plane (see :mod:`repro.netsim.faults`).
+        #: ``None`` — the default — means a perfectly reliable message
+        #: plane: the hot path pays one attribute check and nothing else,
+        #: so fault-free runs are byte-identical to a build without the
+        #: fault plane at all.
+        self.fault_plan: Optional[FaultPlan] = None
         self.stats = MessageStats()
         #: When not None, :meth:`route` appends a :class:`DeliveryRecord`
         #: per message.  Off by default: routing itself must never read
@@ -117,6 +133,13 @@ class PastryNetwork:
         self._failed: Dict[int, PastryNode] = {}
         self._coords: Dict[int, object] = {}
         self._sorted_ids: List[int] = []
+        #: Called with the nodeId after every :meth:`recover_node`, so
+        #: failure detectors can re-watch recovered nodes automatically.
+        self._recovery_listeners: List[Callable[[int], None]] = []
+
+    def add_recovery_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a callback fired (in order) after each node recovery."""
+        self._recovery_listeners.append(listener)
 
     # ------------------------------------------------------------- registry
 
@@ -397,6 +420,8 @@ class PastryNetwork:
             if member is not None:
                 member.learn(node_id)
                 self.stats.record_rpc()
+        for listener in self._recovery_listeners:
+            listener(node_id)
         return node
 
     # -------------------------------------------------------------- routing
@@ -407,6 +432,7 @@ class PastryNetwork:
         key: int,
         message=None,
         collect_distance: bool = False,
+        _duplicate: bool = False,
     ) -> RouteResult:
         """Route ``message`` from ``origin_id`` towards ``key``.
 
@@ -414,11 +440,20 @@ class PastryNetwork:
         intercept the message (PAST lookups stop at the first replica).  If
         never intercepted, the message is delivered at the live node
         numerically closest to ``key`` and its ``deliver`` up-call runs.
+
+        When a :attr:`fault_plan` is installed, each hop additionally
+        consults it: a lost hop terminates the route with ``lost=True``
+        (the application never hears about the message again — the client
+        must time out and retry, §2.3), injected delay accumulates in
+        ``latency``, and a duplicated hop re-routes an extra copy of the
+        message from the receiving node after the original completes
+        (``_duplicate`` guards against copies spawning copies).
         """
         current = self._nodes.get(origin_id)
         if current is None:
             raise KeyError(f"origin {origin_id} is not a live node")
         result = RouteResult(path=[current.node_id])
+        duplicate_from: List[int] = []
         while True:
             if (
                 current.node_id in self.malicious
@@ -446,8 +481,21 @@ class PastryNetwork:
                 raise RoutingError("routing loop detected")
             if collect_distance:
                 result.distance += self.distance(current.node_id, next_id)
+            if self.fault_plan is not None:
+                tx = self.fault_plan.transmit(current.node_id, next_id)
+                if tx.lost:
+                    # The hop never arrives; the message is gone and no
+                    # downstream up-call runs.
+                    result.terminus = None
+                    result.lost = True
+                    break
+                result.latency += tx.delay
+                if tx.duplicate and not _duplicate:
+                    duplicate_from.append(next_id)
             nxt = self._nodes.get(next_id)
-            if nxt is None:  # pragma: no cover - next_hop checks liveness
+            if nxt is None:
+                # The liveness check in next_hop raced a crash: the chosen
+                # hop died after being selected but before delivery.
                 raise RoutingError("next hop vanished mid-route")
             result.path.append(next_id)
             current = nxt
@@ -462,8 +510,20 @@ class PastryNetwork:
                     hops=result.hops,
                     intercepted=result.intercepted,
                     dropped=result.dropped,
+                    lost=result.lost,
+                    duplicate=_duplicate,
                 )
             )
+        # Duplicated hops: the receiver got the message twice; the second
+        # copy continues routing independently (exercising the idempotency
+        # of forward/deliver up-calls).  Run after the original so the
+        # original's outcome is never perturbed.
+        for dup_origin in duplicate_from:
+            if self._nodes.get(dup_origin) is not None:
+                self.route(
+                    dup_origin, key, message=message,
+                    collect_distance=False, _duplicate=True,
+                )
         return result
 
     def start_delivery_log(self) -> List[DeliveryRecord]:

@@ -87,6 +87,133 @@ class TestDetection:
             KeepAliveMonitor(sim, net, lambda n: None, timeout=-1.0)
 
 
+def assert_indexes_consistent(monitor):
+    """The per-node indexes must mirror last_heard exactly."""
+    from_index = {
+        (obs, peer)
+        for obs, peers in monitor._peers_of.items()
+        for peer in peers
+    }
+    from_reverse = {
+        (obs, peer)
+        for peer, observers in monitor._observers_of.items()
+        for obs in observers
+    }
+    assert from_index == set(monitor.last_heard)
+    assert from_reverse == set(monitor.last_heard)
+
+
+class TestStateHygiene:
+    def test_unwatch_drops_observer_side_state(self):
+        net, sim, monitor, detected = make()
+        sim.run_until(5.0)
+        victim = net.node_ids[3]
+        assert any(obs == victim for obs, _ in monitor.last_heard)
+        monitor.unwatch(victim)
+        assert not any(obs == victim for obs, _ in monitor.last_heard)
+        assert victim not in monitor._peers_of
+        # Others still probe it: peer-side entries survive unwatch.
+        assert any(peer == victim for _, peer in monitor.last_heard)
+        assert_indexes_consistent(monitor)
+
+    def test_forget_drops_both_sides(self):
+        net, sim, monitor, detected = make()
+        sim.run_until(5.0)
+        victim = net.node_ids[3]
+        monitor.forget(victim)
+        assert not any(victim in key for key in monitor.last_heard)
+        assert victim not in monitor._peers_of
+        assert victim not in monitor._observers_of
+        assert_indexes_consistent(monitor)
+
+    def test_stop_leaves_no_state_behind(self):
+        net, sim, monitor, detected = make()
+        sim.run_until(5.0)
+        monitor.stop()
+        assert monitor._timers == {}
+        assert monitor.last_heard == {}
+        assert monitor._peers_of == {} and monitor._observers_of == {}
+
+    def test_crashed_observer_state_reclaimed(self):
+        """A dead observer's probe state must not leak forever."""
+        net, sim, monitor, detected = make()
+        victim = net.node_ids[2]
+        sim.run_until(2.0)
+        net.mark_failed(victim)
+        sim.run_until(10.0)
+        assert victim not in monitor._timers
+        assert not any(obs == victim for obs, _ in monitor.last_heard)
+        assert_indexes_consistent(monitor)
+
+
+class TestFirstContactWindow:
+    def test_watch_seeds_window_at_watch_time(self):
+        """The timeout window starts when watching begins — not backdated
+        one probe interval into the past."""
+        net = build_pastry(30, l=8, seed=80)
+        sim = EventSimulator()
+        monitor = KeepAliveMonitor(
+            sim, net, on_detect=lambda n: None, interval=1.0, timeout=3.0
+        )
+        sim.schedule(4.0, monitor.start)
+        sim.run_until(4.0)
+        assert monitor.last_heard  # start() seeded the current leaf sets
+        assert all(t == 4.0 for t in monitor.last_heard.values())
+
+    def test_peer_dead_at_watch_gets_full_timeout(self):
+        """A peer that never answers is detected ``timeout`` after watch
+        begins; the old backdated seeding fired an interval early."""
+        net = build_pastry(30, l=8, seed=80)
+        sim = EventSimulator()
+        times = {}
+        monitor = KeepAliveMonitor(
+            sim, net, on_detect=lambda n: times.setdefault(n, sim.now),
+            interval=1.0, timeout=3.0,
+        )
+        victim = net.node_ids[4]
+        net.mark_failed(victim)
+        monitor.start()  # at t=0, victim already silent
+        sim.run_until(10.0)
+        assert times[victim] >= 3.0
+
+
+class TestAutoRewatch:
+    def test_recovered_node_probes_again_without_manual_watch(self):
+        net, sim, monitor, detected = make()
+        victim = net.node_ids[5]
+        net.mark_failed(victim)
+        sim.run_until(10.0)
+        assert detected == [victim]
+        assert victim not in monitor._timers
+        # Only the overlay-level recovery: no forget()/watch() calls.
+        net.recover_node(victim)
+        assert victim in monitor._timers
+        assert victim not in monitor.detected
+        sim.run_until(20.0)
+        assert detected == [victim]  # healthy: no false re-detection
+
+    def test_fail_recover_fail_again_detected_twice(self):
+        net, sim, monitor, detected = make()
+        victim = net.node_ids[5]
+        net.mark_failed(victim)
+        sim.run_until(10.0)
+        net.recover_node(victim)
+        sim.run_until(15.0)
+        net.mark_failed(victim)
+        sim.run_until(25.0)
+        assert detected == [victim, victim]
+
+    def test_recovery_while_stopped_does_not_watch(self):
+        net, sim, monitor, detected = make()
+        victim = net.node_ids[5]
+        net.mark_failed(victim)
+        sim.run_until(10.0)
+        monitor.stop()
+        net.recover_node(victim)
+        assert victim not in monitor._timers
+        assert monitor.last_heard == {}
+
+
 class TestEndToEndWithPast:
     def test_keepalive_drives_past_recovery(self):
         """Full loop: crash -> keep-alive expiry -> PAST re-replication."""

@@ -1,0 +1,98 @@
+"""Routing under an installed fault plane (loss, delay, duplication)."""
+
+import pytest
+
+from repro.netsim.faults import FaultPlan
+from repro.pastry.network import RoutingError
+from tests.conftest import build_pastry
+
+
+def far_pair(net):
+    """An (origin, key) pair guaranteed to need at least one hop."""
+    ids = sorted(net.node_ids)
+    return ids[0], ids[len(ids) // 2]
+
+
+class TestLossOnRoute:
+    def test_certain_loss_terminates_route(self):
+        net = build_pastry(30, l=8, seed=90)
+        origin, key = far_pair(net)
+        net.fault_plan = FaultPlan(seed=1, loss=1.0)
+        result = net.route(origin, key)
+        assert result.lost and result.terminus is None
+        assert net.fault_plan.stats.messages_lost == 1
+
+    def test_lost_route_logged_but_not_misdelivered(self):
+        net = build_pastry(30, l=8, seed=90)
+        origin, key = far_pair(net)
+        net.fault_plan = FaultPlan(seed=1, loss=1.0)
+        log = net.start_delivery_log()
+        net.route(origin, key)
+        net.delivery_log = None
+        assert len(log) == 1
+        assert log[0].lost and not log[0].misdelivered
+
+    def test_partition_severs_routes(self):
+        net = build_pastry(30, l=8, seed=91)
+        origin, key = far_pair(net)
+        plan = FaultPlan(seed=0).bind_clock(lambda: 5.0)
+        # Cut the origin off from everyone: its first hop must cross.
+        plan.add_partition(at=0.0, heal_at=10.0, group=[origin])
+        net.fault_plan = plan
+        result = net.route(origin, key)
+        assert result.lost
+        assert plan.stats.partition_drops == 1
+
+    def test_no_plan_and_quiet_plan_route_identically(self):
+        net = build_pastry(30, l=8, seed=92)
+        origin, key = far_pair(net)
+        clean = net.route(origin, key)
+        plan = FaultPlan(seed=3)  # all rates zero: must not perturb anything
+        state = plan.rng.getstate()
+        net.fault_plan = plan
+        faulty = net.route(origin, key)
+        assert faulty.path == clean.path
+        assert not faulty.lost and faulty.latency == 0.0
+        assert plan.rng.getstate() == state
+
+
+class TestDelayAndDuplication:
+    def test_delay_accumulates_in_latency(self):
+        net = build_pastry(30, l=8, seed=93)
+        origin, key = far_pair(net)
+        net.fault_plan = FaultPlan(seed=2, delay_mean=0.5)
+        result = net.route(origin, key)
+        assert not result.lost and result.hops >= 1
+        assert result.latency > 0.0
+
+    def test_duplicated_hop_reroutes_a_copy(self):
+        net = build_pastry(30, l=8, seed=94)
+        origin, key = far_pair(net)
+        net.fault_plan = FaultPlan(seed=2, duplicate=1.0)
+        log = net.start_delivery_log()
+        result = net.route(origin, key)
+        net.delivery_log = None
+        assert not result.lost
+        originals = [r for r in log if not r.duplicate]
+        copies = [r for r in log if r.duplicate]
+        assert len(originals) == 1
+        # One copy per hop of the original; copies never spawn copies.
+        assert len(copies) == result.hops
+
+
+class TestMidRouteCrash:
+    def test_next_hop_vanishing_raises_routing_error(self):
+        """A hop chosen while live can die before delivery (satellite of
+        the fault plane: the race the pragma used to hide)."""
+        net = build_pastry(30, l=8, seed=95)
+        origin, key = far_pair(net)
+        plan = FaultPlan(seed=0)
+
+        def assassinate(src: int, dst: int) -> None:
+            if net.is_live(dst):
+                net.mark_failed(dst)
+
+        plan.on_transmit = assassinate
+        net.fault_plan = plan
+        with pytest.raises(RoutingError, match="vanished mid-route"):
+            net.route(origin, key)

@@ -16,6 +16,7 @@ from .errors import (
     NotOwnerError,
     PastError,
 )
+from .integrity import AntiEntropyScrubber, IntegrityStats
 from .invariants import AuditReport, audit
 from .resilience import DEFAULT_RETRY_POLICY, NO_RETRY_POLICY, RetryPolicy
 from .seeding import derive_seed
@@ -37,6 +38,8 @@ __all__ = [
     "FileIdCollisionError",
     "InsertFailedError",
     "NotOwnerError",
+    "AntiEntropyScrubber",
+    "IntegrityStats",
     "audit",
     "AuditReport",
     "DEFAULT_RETRY_POLICY",

@@ -11,6 +11,18 @@ audit for tests and examples:
 * **pointer integrity** — every diversion pointer targets a live node that
   actually holds the replica, and the replica's referrer bookkeeping
   matches.
+* **integrity** — every held replica's content hash matches its
+  certificate, and every live file's replica set retains at least one
+  verified copy.  The audit reads the ``corrupted`` flags replicas carry
+  from their last *verified read* — it never consults the fault plan
+  itself, so auditing stays free of RNG draws and cannot perturb a
+  deterministic schedule.  Soundness caveat: rot is evaluated lazily at
+  read time, so run :meth:`~repro.core.network.PastNetwork.verify_all_replicas`
+  first when you need latent (never-read) damage materialized.  A file
+  whose *every* surviving copy is corrupt is unrecoverable — reported
+  like ``lost_files`` (an availability outcome), while an unhealed
+  corrupt copy alongside a verified one is a genuine violation: repair
+  machinery had a donor and did not converge.
 * **capacity** — no node stores more replica bytes than its capacity, and
   replica + cache bytes also fit.
 * **accounting** — the network's global byte counters equal the per-node
@@ -56,6 +68,16 @@ class AuditReport:
     #: The fileIds behind ``lost_files``, so a durability oracle can say
     #: exactly which files died, not just how many.
     lost_file_ids: List[int] = field(default_factory=list)
+    #: Live files with at least one copy whose last verified read found
+    #: corruption (includes the unrecoverable ones below).
+    corrupt_files: int = 0
+    corrupt_file_ids: List[int] = field(default_factory=list)
+    #: Live files whose *every* surviving copy is corrupt — the bytes are
+    #: gone even though replicas exist.  Like ``lost_files``, this is an
+    #: availability outcome (all copies damaged before repair could run),
+    #: not a bookkeeping violation.
+    unrecoverable_files: int = 0
+    unrecoverable_file_ids: List[int] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -133,17 +155,35 @@ def _audit_nodes(network: PastNetwork, report: AuditReport) -> None:
 
 
 def _audit_files(network: PastNetwork, report: AuditReport) -> None:
-    # Index of fids with at least one live physical replica.
-    held = set()
+    # Index of live physical replicas: fid -> [(node_id, replica), ...].
+    held = {}
     for node in network.nodes():
-        held.update(node.store.primaries)
-        held.update(node.store.diverted_in)
+        for fid, replica in node.store.primaries.items():
+            held.setdefault(fid, []).append((node.node_id, replica))
+        for fid, replica in node.store.diverted_in.items():
+            held.setdefault(fid, []).append((node.node_id, replica))
     for fid in network.live_file_ids():
         report.files_checked += 1
-        if fid not in held:
+        copies = held.get(fid)
+        if not copies:
             report.lost_files += 1
             report.lost_file_ids.append(fid)
             continue
+        corrupt_holders = sorted(nid for nid, replica in copies if replica.corrupted)
+        if corrupt_holders:
+            report.corrupt_files += 1
+            report.corrupt_file_ids.append(fid)
+            if len(corrupt_holders) == len(copies):
+                report.unrecoverable_files += 1
+                report.unrecoverable_file_ids.append(fid)
+            elif fid not in network.degraded_files:
+                # A verified donor exists, so read-repair/scrub had
+                # everything it needed and still left damage behind.
+                for nid in corrupt_holders:
+                    report.add(
+                        "integrity",
+                        f"file {fid:#x}: unhealed corrupt replica on node {nid:#x}",
+                    )
         if fid in network.degraded_files:
             report.degraded_exempt += 1
             continue

@@ -42,6 +42,9 @@ class LookupRequest:
     certificate: Optional[FileCertificate] = None
     #: Extra (non-routing) hops spent chasing a diversion pointer.
     extra_hops: int = 0
+    #: Local copies that failed their verified read (corrupt or disk
+    #: error) while this request searched for a servable replica.
+    integrity_failures: int = 0
 
 
 @dataclass

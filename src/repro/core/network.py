@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..netsim.faults import READ_CORRUPT, READ_ERROR, StorageFaultPlan
 from ..netsim.topology import Topology
 from ..pastry import PastryNetwork, idspace
 from ..pastry.network import RouteResult
@@ -33,6 +34,7 @@ from ..security.certificates import CertificateError
 from ..security.smartcard import QuotaExceededError
 from .config import PastConfig
 from .errors import AdmissionError
+from .integrity import IntegrityStats
 from .messages import InsertRequest, LookupRequest, ReclaimRequest
 from .resilience import RetryPolicy
 from .seeding import derive_seed
@@ -82,6 +84,9 @@ class LookupResult:
     elapsed: float = 0.0
     #: The answer came from a hedged direct fetch, not the routed request.
     hedged: bool = False
+    #: Local copies that failed their verified read (corrupt or disk
+    #: error) before a clean replica was served.
+    integrity_failovers: int = 0
 
 
 @dataclass
@@ -130,6 +135,11 @@ class PastNetwork:
         self._contents: Dict[int, bytes] = {}
         self._reclaimed: set = set()
         self.degraded_files: set = set()
+        #: Storage-integrity plane: counters plus the (optional) disk
+        #: fault plan and the virtual clock its bit rot accrues against.
+        self.integrity = IntegrityStats()
+        self.storage_faults: Optional[StorageFaultPlan] = None
+        self._storage_clock: Callable[[], float] = lambda: 0.0
         self.total_capacity = 0
         self.bytes_stored = 0
         self.clock = 0
@@ -235,6 +245,10 @@ class PastNetwork:
         self.identities[pastry_node.node_id] = NodeIdentity.issue(
             card, pastry_node.node_id, f"{pastry_node.node_id:032x}.past.example:4160"
         )
+        store.node_id = pastry_node.node_id
+        if self.storage_faults is not None:
+            store.fault_plan = self.storage_faults
+            store.now = self._storage_clock
         node = PastNode(pastry_node, store, card, self.config, self)
         # Register the storage layer before the overlay announces the node,
         # so join-time maintenance hooks can reach it.
@@ -517,6 +531,7 @@ class PastNetwork:
             hops=hops,
             content=self._contents.get(file_id) if success else None,
             distance=route.distance,
+            integrity_failovers=request.integrity_failures,
         )
 
     def _lookup_with_policy(
@@ -595,6 +610,7 @@ class PastNetwork:
             attempts=max(attempts, 1),
             elapsed=elapsed,
             hedged=hedged,
+            integrity_failovers=request.integrity_failures,
         )
 
     def _hedged_fetch(self, request: LookupRequest, terminus_id: int, key: int) -> bool:
@@ -691,6 +707,10 @@ class PastNetwork:
         store.pointers.clear()
         store.cache.clear()
         store.used = 0
+        store._cache_checked.clear()
+        if self.storage_faults is not None:
+            # The media is gone; so are its corruption records.
+            self.storage_faults.forget_node(node_id)
 
     def process_failure_detection(self, node_id: int) -> None:
         """Phase 2: keep-alive expiry — leaf-set repair and maintenance."""
@@ -782,3 +802,60 @@ class PastNetwork:
             if moved == 0:
                 break
         return migrated
+
+    # ---------------------------------------------------- storage integrity
+
+    def install_storage_faults(
+        self,
+        plan: StorageFaultPlan,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> StorageFaultPlan:
+        """Install a disk fault plan on every store, current and future.
+
+        ``clock`` is the virtual-time callable bit rot accrues against
+        (e.g. ``lambda: sim.now``).  Without one the clock stays frozen
+        at 0.0 — partial writes, read errors and disk modes still fire,
+        but time-driven rot does not.
+        """
+        self.storage_faults = plan
+        if clock is not None:
+            self._storage_clock = clock
+        plan.bind_clock(self._storage_clock)
+        for node in list(self._past.values()) + list(self._failed_past.values()):
+            node.store.fault_plan = plan
+            node.store.now = self._storage_clock
+        return plan
+
+    def remove_storage_faults(self) -> None:
+        """Detach the disk fault plan from every store.
+
+        Corruption already materialized into replicas' ``corrupted``
+        flags persists — removing the plan stops *new* faults, it does
+        not heal old ones.  Used by harnesses to make the post-heal
+        phase fault-free before auditing.
+        """
+        self.storage_faults = None
+        for node in list(self._past.values()) + list(self._failed_past.values()):
+            node.store.fault_plan = None
+
+    def verify_all_replicas(self) -> Dict[str, List[Tuple[int, int]]]:
+        """One verified read of every replica on every live node.
+
+        Materializes lazily-evaluated bit rot into the replicas'
+        ``corrupted`` flags so a subsequent (read-only, draw-free)
+        :func:`~repro.core.invariants.audit` sees the damage.  Returns
+        the sorted ``(node_id, file_id)`` pairs that verified corrupt
+        and those that hit transient read errors.
+        """
+        corrupt: List[Tuple[int, int]] = []
+        errors: List[Tuple[int, int]] = []
+        for node in self.nodes():
+            for fid in node.store.file_ids():
+                if not node.store.holds_file(fid):
+                    continue
+                verdict = node.store.verify_replica(fid)
+                if verdict == READ_CORRUPT:
+                    corrupt.append((node.node_id, fid))
+                elif verdict == READ_ERROR:
+                    errors.append((node.node_id, fid))
+        return {"corrupt": sorted(corrupt), "errors": sorted(errors)}

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, List, Optional, Set
 
+from ..netsim.faults import READ_CORRUPT, READ_OK
 from ..pastry import idspace
 from ..pastry.node import PastryApplication, PastryNode
 from ..security import CertificateError, FileCertificate, Smartcard, StoreReceipt
@@ -107,15 +108,26 @@ class PastNode(PastryApplication):
     # --------------------------------------------------------------- lookup
 
     def _try_satisfy_lookup(self, msg: LookupRequest) -> bool:
-        """Serve a lookup locally if possible (replica, cache or pointer)."""
+        """Serve a lookup locally if possible (replica, cache or pointer).
+
+        Every serve is a *verified read* (§2.2): the content hash of the
+        copy about to be returned is recomputed and compared against the
+        file certificate.  A corrupt or unreadable copy is never served —
+        the attempt fails over to the next holder (via the client's
+        hedging) after read-repair has been triggered on the bad copy.
+        """
         fid = msg.file_id
         replica = self.store.primaries.get(fid)
+        source = "primary"
+        if replica is None:
+            replica = self.store.diverted_in.get(fid)
+            source = "diverted"
         if replica is not None:
-            return self._respond(msg, "primary", replica.certificate)
-        replica = self.store.diverted_in.get(fid)
-        if replica is not None:
-            return self._respond(msg, "diverted", replica.certificate)
-        if self.store.cache.enabled and self.store.cache.lookup(fid):
+            verdict = self.store.verify_replica(fid)
+            if verdict == READ_OK:
+                return self._respond(msg, source, replica.certificate)
+            self._note_failed_read(msg, fid, verdict)
+        if self.store.cache.enabled and self.store.verified_cache_hit(fid):
             size = self.store.cache.size_of(fid)
             cert = self.network.certificate_of(fid)
             if cert is not None and cert.size == size:
@@ -127,8 +139,20 @@ class PastNode(PastryApplication):
                 # One additional RPC to fetch the diverted replica (§3.3).
                 msg.extra_hops += 1
                 self.network.pastry.stats.record_rpc()
-                return self._respond(msg, "pointer", pointer.certificate)
+                verdict = target.store.verify_replica(fid)
+                if verdict == READ_OK:
+                    return self._respond(msg, "pointer", pointer.certificate)
+                target._note_failed_read(msg, fid, verdict)
         return False
+
+    def _note_failed_read(self, msg: LookupRequest, fid: int, verdict: str) -> None:
+        """A local copy failed its verified read: count the failover and,
+        for sticky corruption, start read-repair before the lookup moves
+        on to the next holder (transient errors just retry later)."""
+        msg.integrity_failures += 1
+        self.network.integrity.failed_reads += 1
+        if verdict == READ_CORRUPT:
+            self.read_repair(fid)
 
     def _respond(self, msg: LookupRequest, source: str, cert: FileCertificate) -> bool:
         msg.source = source
@@ -140,7 +164,10 @@ class PastNode(PastryApplication):
         """Cache a file routed through this node (insert or lookup, §4)."""
         if self.store.holds_file(cert.file_id):
             return False
-        return self.store.cache.consider(cert.file_id, cert.size)
+        if self.store.cache.consider(cert.file_id, cert.size):
+            self.store.note_cached(cert.file_id)
+            return True
+        return False
 
     # --------------------------------------------------------------- insert
 
@@ -559,6 +586,98 @@ class PastNode(PastryApplication):
             member = self.network.past_node_or_none(member_id)
             if member is not None:
                 member._restore_file_invariant(fid)
+
+    # ------------------------------------------------------------ integrity
+
+    def read_repair(self, fid: int) -> bool:
+        """Overwrite a corrupt local replica with a verified copy.
+
+        A donor with a verified-clean copy is located among the file's
+        current replica set (one direct RPC per candidate, subject to the
+        fault plane).  The rewrite happens in place, so diversion
+        pointers and referrer bookkeeping stay valid.  When the local
+        disk refuses the rewrite (``readonly``/``failing``), the bad
+        copy is shed instead and the §3.5 machinery re-replicates onto a
+        writable disk — feeding replica diversion exactly like a full
+        disk.  Returns True iff the local copy is verified-clean after.
+        """
+        replica = self.store.get_replica(fid)
+        if replica is None:
+            return False
+        donor = self._find_verified_donor(fid, replica.certificate)
+        if donor is None:
+            return False  # no verified copy reachable; a later pass retries
+        plan = self.store.fault_plan
+        if plan is not None and not plan.writable(self.node_id):
+            self.shed_corrupt_replica(fid)
+            return False
+        if self.store.repair_replica(fid):
+            self.network.integrity.read_repairs += 1
+            self.network.integrity.healed_file_ids.add(fid)
+            return True
+        return False  # the rewrite itself tore; a later scrub retries
+
+    def _find_verified_donor(self, fid: int, cert: FileCertificate) -> Optional[int]:
+        """Locate another holder with a verified-clean copy of ``fid``.
+
+        Walks the current replica set in distance order, resolving
+        diversion pointers to their targets; each candidate costs one
+        direct RPC that the fault plane may lose.
+        """
+        plan = self.network.pastry.fault_plan
+        key = idspace.routing_key(fid)
+        for member_id in self.leafset.closest_nodes(key, cert.k + 1):
+            if member_id == self.node_id:
+                continue
+            member = self.network.past_node_or_none(member_id)
+            if member is None:
+                continue
+            holder, holder_id = member, member_id
+            if not member.store.holds_file(fid):
+                pointer = member.store.pointers.get(fid)
+                if pointer is None or pointer.target_id == self.node_id:
+                    continue
+                target = self.network.past_node_or_none(pointer.target_id)
+                if target is None or not target.store.holds_file(fid):
+                    continue
+                holder, holder_id = target, pointer.target_id
+            self.network.pastry.stats.record_rpc()
+            if plan is not None and plan.rpc_lost(self.node_id, holder_id):
+                continue
+            if holder.store.verify_replica(fid) == READ_OK:
+                return holder_id
+        return None
+
+    def shed_corrupt_replica(self, fid: int) -> None:
+        """Drop a corrupt copy this disk cannot rewrite and re-replicate.
+
+        Referrer pointers to the shed copy are torn down first so the
+        §3.5 repair sees the entries as missing rather than dangling;
+        :meth:`request_repair` then lets the closest valid holder
+        re-create the replica on a disk that accepts writes.
+        """
+        dropped = self.store.drop_replica(fid)
+        if dropped is None:
+            return
+        for ref in sorted(dropped.referrers):
+            ref_node = self.network.past_node_or_none(ref)
+            if ref_node is not None:
+                ref_node.store.drop_pointer(fid)
+        self.network.integrity.re_replications += 1
+        self.network.integrity.healed_file_ids.add(fid)
+        self.request_repair(fid)
+
+    def integrity_digest(self, fid: int) -> Optional[bytes]:
+        """The content hash this node's copy of ``fid`` produces, or None.
+
+        The compact per-fileId summary exchanged during anti-entropy
+        scrubbing: holders compare digests instead of shipping replica
+        bytes, so a mismatch pinpoints the corrupt copy in one round.
+        """
+        replica = self.store.get_replica(fid)
+        if replica is None:
+            return None
+        return replica.observed_content_hash()
 
     def drop_pointer_and_deref(self, fid: int) -> None:
         """Drop a local diversion pointer and its referrer bookkeeping."""

@@ -18,6 +18,13 @@ and :meth:`~repro.core.network.PastNetwork.insert`:
   to asking each of the k replica holders directly, in replica-set
   order, until one answers.
 
+The same failover machinery doubles as the *integrity* escape hatch:
+every serve is a verified read (§2.2), so a holder whose copy turns out
+corrupt or unreadable refuses to answer and the retry/hedge loop moves
+on to the next holder — ``LookupResult.integrity_failovers`` counts how
+often a lookup succeeded only because of that (see
+:mod:`repro.core.integrity` for the repair side).
+
 A ``policy=None`` call (the default everywhere) takes the exact
 pre-existing code path — no retry state, no RNG draws — so fault-free
 runs stay byte-identical with or without this module.

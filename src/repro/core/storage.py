@@ -27,11 +27,20 @@ primaries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Set
 
+from ..netsim.faults import READ_CORRUPT, READ_ERROR, READ_OK
 from ..security import FileCertificate
+from ..security.certificates import corrupted_content_hash
 from .cache import CacheManager, make_policy
 from .errors import CapacityError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.faults import StorageFaultPlan
+
+#: Extra :meth:`LocalStore.verify_replica` verdict beyond the plan's
+#: READ_OK/READ_CORRUPT/READ_ERROR: the replica is not on this disk.
+REPLICA_MISSING = "missing"
 
 
 @dataclass
@@ -44,6 +53,15 @@ class StoredReplica:
     #: replicas: the diverting primary A and the backup C).  These pairs
     #: exchange explicit keep-alives when leaf sets drift apart (§3.5).
     referrers: Set[int] = field(default_factory=set)
+    #: The on-disk bytes no longer match the certificate (torn write or
+    #: bit rot).  Maintained by :meth:`LocalStore.verify_replica`; the
+    #: invariant audit reads this flag instead of re-consulting the
+    #: fault plan so auditing stays free of RNG draws.
+    corrupted: bool = False
+    #: Virtual times bracketing the bit-rot exposure window: rot accrues
+    #: over ``now - max(stored_at, last_checked)``.
+    stored_at: float = 0.0
+    last_checked: float = 0.0
 
     @property
     def file_id(self) -> int:
@@ -52,6 +70,17 @@ class StoredReplica:
     @property
     def size(self) -> int:
         return self.certificate.size
+
+    def observed_content_hash(self) -> bytes:
+        """The hash a reader recomputes over this copy's on-disk bytes.
+
+        Matches the certificate for a healthy copy and deterministically
+        diverges for a corrupt one — the flag-based stand-in for hashing
+        real bytes (see :func:`repro.security.certificates.corrupted_content_hash`).
+        """
+        if self.corrupted:
+            return corrupted_content_hash(self.file_id, self.size)
+        return self.certificate.content_hash
 
 
 @dataclass
@@ -93,6 +122,14 @@ class LocalStore:
         self.capacity = capacity
         self.used = 0  # bytes held by primary + diverted replicas
         self._accounting = accounting
+        #: Disk-fault wiring, set by the network at admit time.  With no
+        #: plan installed every integrity hook below is a single
+        #: attribute check — the zero-cost bar the digest pins enforce.
+        self.node_id: int = -1
+        self.fault_plan: Optional["StorageFaultPlan"] = None
+        self.now: Callable[[], float] = lambda: 0.0
+        #: fid -> virtual time the cached copy was inserted/last verified.
+        self._cache_checked: Dict[int, float] = {}
         self.primaries: Dict[int, StoredReplica] = {}
         self.diverted_in: Dict[int, StoredReplica] = {}
         self.pointers: Dict[int, DiversionPointer] = {}
@@ -117,7 +154,14 @@ class LocalStore:
         return self.used / self.capacity if self.capacity else 1.0
 
     def can_accept(self, size: int, threshold: float) -> bool:
-        """The paper's acceptance rule: reject iff ``size/free > threshold``."""
+        """The paper's acceptance rule: reject iff ``size/free > threshold``.
+
+        A disk in ``readonly``/``failing`` mode additionally refuses all
+        new replicas, feeding the §3.3 diversion machinery exactly as a
+        full disk would, while existing replicas keep serving reads.
+        """
+        if self.fault_plan is not None and not self.fault_plan.writable(self.node_id):
+            return False
         free = self.free
         if size > free:
             return False
@@ -142,11 +186,24 @@ class LocalStore:
         callers are expected to have applied :meth:`can_accept` first.
         """
         fid = certificate.file_id
+        plan = self.fault_plan
+        if plan is not None and not plan.writable(self.node_id):
+            plan.refuse_write(self.node_id)
+            raise CapacityError(f"disk is {plan.disk_mode(self.node_id)}; refusing new replica")
         if fid in self.primaries or fid in self.diverted_in:
             raise CapacityError(f"replica of {fid:#x} already stored here")
         if certificate.size > self.free:
             raise CapacityError("replica exceeds free space")
         replica = StoredReplica(certificate, diverted=diverted)
+        if plan is not None:
+            now = self.now()
+            replica.stored_at = now
+            replica.last_checked = now
+            # Clear any corruption record left by a prior copy of this
+            # fid on this disk (e.g. a rotted cached copy), then let the
+            # plan decide whether this write lands torn.
+            plan.forget(self.node_id, fid)
+            replica.corrupted = plan.store_written(self.node_id, fid, certificate.size)
         if diverted:
             self.diverted_in[fid] = replica
         else:
@@ -162,11 +219,97 @@ class LocalStore:
         if replica is None:
             replica = self.diverted_in.pop(file_id, None)
         if replica is not None:
+            if self.fault_plan is not None:
+                self.fault_plan.forget(self.node_id, file_id)
             self._charge(-replica.size)
         return replica
 
     def get_replica(self, file_id: int) -> Optional[StoredReplica]:
         return self.primaries.get(file_id) or self.diverted_in.get(file_id)
+
+    # ------------------------------------------------------ verified reads
+
+    def verify_replica(self, file_id: int) -> str:
+        """One verified read of a local replica (§2.2 hash recomputation).
+
+        Consults the storage fault plan first — bit rot accrues over the
+        virtual time since this copy was stored or last verified — then
+        recomputes the hash the on-disk bytes produce and compares it
+        against the certificate, exactly as a client with real bytes
+        would.  Returns ``READ_OK``, ``READ_CORRUPT`` (sticky until
+        :meth:`repair_replica`), ``READ_ERROR`` (transient; retrying may
+        succeed) or :data:`REPLICA_MISSING`.
+        """
+        replica = self.get_replica(file_id)
+        if replica is None:
+            return REPLICA_MISSING
+        plan = self.fault_plan
+        if plan is not None:
+            now = self.now()
+            elapsed = now - max(replica.stored_at, replica.last_checked)
+            verdict = plan.read(self.node_id, file_id, replica.size, max(0.0, elapsed))
+            if verdict == READ_ERROR:
+                return READ_ERROR
+            replica.last_checked = now
+            replica.corrupted = verdict == READ_CORRUPT
+        if replica.observed_content_hash() != replica.certificate.content_hash:
+            return READ_CORRUPT
+        return READ_OK
+
+    def repair_replica(self, file_id: int) -> bool:
+        """Overwrite a corrupt replica with a verified copy (read-repair).
+
+        The rewrite goes through the same disk, so it is refused on a
+        ``readonly``/``failing`` disk (the caller must then re-replicate
+        elsewhere) and can itself land torn.  Returns True iff the local
+        copy is verified-clean afterwards.
+        """
+        replica = self.get_replica(file_id)
+        if replica is None:
+            return False
+        plan = self.fault_plan
+        if plan is None:
+            replica.corrupted = False
+            return True
+        if not plan.writable(self.node_id):
+            plan.refuse_write(self.node_id)
+            return False
+        now = self.now()
+        plan.mark_repaired(self.node_id, file_id)
+        replica.stored_at = now
+        replica.last_checked = now
+        replica.corrupted = plan.store_written(self.node_id, file_id, replica.size)
+        return not replica.corrupted
+
+    def note_cached(self, file_id: int) -> None:
+        """Stamp a fresh cache insertion; rot accrues from this instant."""
+        if self.fault_plan is not None:
+            self._cache_checked[file_id] = self.now()
+
+    def verified_cache_hit(self, file_id: int) -> bool:
+        """Cache lookup plus verified read.
+
+        Cached copies are disposable — a corrupt one is simply evicted
+        (no read-repair) and the lookup falls through to the replica
+        holders; a transient read error also misses without evicting.
+        """
+        if not self.cache.lookup(file_id):
+            return False
+        plan = self.fault_plan
+        if plan is None:
+            return True
+        now = self.now()
+        size = self.cache.size_of(file_id) or 0
+        last = self._cache_checked.get(file_id, now)
+        verdict = plan.read(self.node_id, file_id, size, max(0.0, now - last))
+        if verdict == READ_OK:
+            self._cache_checked[file_id] = now
+            return True
+        if verdict == READ_CORRUPT:
+            self.cache.remove(file_id)
+            self._cache_checked.pop(file_id, None)
+            plan.forget(self.node_id, file_id)
+        return False
 
     # ------------------------------------------------------------- pointers
 

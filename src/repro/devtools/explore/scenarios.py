@@ -20,10 +20,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ...core import PastConfig, PastNetwork, RetryPolicy
+from ...core import AntiEntropyScrubber, PastConfig, PastNetwork, RetryPolicy
 from ...core.seeding import derive_seed
 from ...netsim.eventsim import EventSimulator, SchedulePolicy
-from ...netsim.faults import FaultPlan
+from ...netsim.faults import FaultPlan, StorageFaultPlan
 from ...netsim.trace import ScheduleTrace
 from ...pastry import idspace
 from ...pastry.keepalive import KeepAliveMonitor
@@ -317,9 +317,86 @@ def scenario_chaos(
     return run
 
 
+def scenario_scrub(
+    seed: int,
+    policy: Optional[SchedulePolicy] = None,
+    trace: Optional[ScheduleTrace] = None,
+) -> ScenarioRun:
+    """Anti-entropy scrubbing racing bit rot, a crash and its recovery.
+
+    Disks rot silently under a seeded :class:`StorageFaultPlan` while
+    per-node scrub timers verify and read-repair replicas; one node
+    crashes with its (rotting) disk intact and recovers mid-run, so the
+    explorer interleaves scrub rounds, probe rounds, detection, the
+    recovery and the disk heal.  At the heal tick all latent rot is
+    materialized and the plane removed; the fault-free tail plus a
+    synchronous scrub fixpoint must then leave no corrupt copy that
+    still has a verified donor — under *every* schedule — or the
+    audit's integrity oracle trips.
+    """
+    rng = random.Random(seed)
+    config = PastConfig(l=8, k=3, seed=seed, cache_policy="none")
+    net = PastNetwork(config)
+    net.build([rng.randrange(500_000, 1_000_000) for _ in range(10)])
+    owner = net.create_client("explore")
+    node_ids = [n.node_id for n in net.nodes()]
+    for i in range(10):
+        size = rng.randrange(1_500, 3_500)
+        net.insert(f"s{i}", owner, size, node_ids[rng.randrange(len(node_ids))])
+
+    if trace is None:
+        trace = ScheduleTrace()
+    sim = EventSimulator(trace=trace, policy=policy)
+    monitor = KeepAliveMonitor(
+        sim, net.pastry, on_detect=net.process_failure_detection,
+        interval=1.0, timeout=3.0,
+    )
+    splan = StorageFaultPlan(
+        seed=derive_seed(seed, "explore-scrub"), bitrot_rate=2e-5
+    )
+    net.install_storage_faults(splan, clock=lambda: sim.now)
+    scrubber = AntiEntropyScrubber(sim, net, interval=1.0, seed=seed)
+
+    victim = sorted(net.pastry.node_ids)[0]
+
+    def crash() -> None:
+        # Disk stays intact: its replicas keep rotting, unverified,
+        # until the node returns and the scrubber reaches them again.
+        if net.pastry.is_live(victim):
+            net.crash_node(victim)
+
+    def recover() -> None:
+        if victim in net._failed_past:
+            net.recover_node(victim)
+
+    def heal() -> None:
+        if net.storage_faults is not None:
+            net.verify_all_replicas()
+            net.remove_storage_faults()
+
+    monitor.start()
+    scrubber.start()
+    sim.schedule_at(2.0, crash)
+    sim.schedule_at(6.0, recover)
+    sim.schedule_at(8.0, heal)
+    # Fault-free tail: a detection timeout plus two probe rounds.
+    sim.run_until(13.0)
+    monitor.stop()
+    scrubber.stop()
+    net.repair_all()
+    heal()  # in case a truncated schedule never ran the heal event
+    scrubber.scrub_all()
+    scrubber.scrub_all()
+
+    run = ScenarioRun(trace=trace, net=net, sim=sim)
+    _verify_routes(net, seed, run)
+    return run
+
+
 SCENARIOS: Dict[str, ScenarioFn] = {
     "churn": scenario_churn,
     "join": scenario_join,
     "divert": scenario_divert,
     "chaos": scenario_chaos,
+    "scrub": scenario_scrub,
 }

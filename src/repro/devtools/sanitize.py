@@ -14,6 +14,9 @@ Scenarios:
 * ``churn`` — a small seeded PAST deployment under node crashes with
   keep-alive failure detection and recovery: the workload CI smokes to
   prove the shipped simulator is hashseed-independent.
+* ``scrub`` — the storage-integrity plane: anti-entropy scrub timers,
+  seeded bit rot and a crash/recovery, reusing the explorer's scrub
+  scenario.
 * ``hazard`` — a deliberately broken scenario that schedules events by
   iterating a set of strings (whose order follows ``PYTHONHASHSEED``);
   used by the test suite to prove the harness localises a real bug.
@@ -114,8 +117,16 @@ def scenario_hazard(seed: int) -> ScheduleTrace:
     return trace
 
 
+def scenario_scrub(seed: int) -> ScheduleTrace:
+    """The storage-integrity plane: scrub timers, bit rot, a crash."""
+    from .explore.scenarios import scenario_scrub as run_scrub
+
+    return run_scrub(seed).trace
+
+
 SCENARIOS: Dict[str, Callable[[int], ScheduleTrace]] = {
     "churn": scenario_churn,
+    "scrub": scenario_scrub,
     "hazard": scenario_hazard,
 }
 

@@ -15,6 +15,12 @@ checks end-to-end against a :class:`~repro.netsim.faults.FaultPlan`:
   may be lost) and an overlapping storm that crashes one file's entire
   replica set inside a single detection window (that file — and only
   files hit like that — must be reported lost, by id, by the oracle).
+* **Integrity** — disks fail without nodes dying: a
+  :class:`~repro.netsim.faults.StorageFaultPlan` injects silent bit
+  rot, torn writes, read errors and readonly disks.
+  :func:`run_bitrot_sweep` shows the anti-entropy scrubber plus
+  read-repair recovering 100% of the corruption that the no-scrub
+  baseline turns into unrecoverable files.
 
 Every run is driven by one seeded :class:`EventSimulator` with a
 :class:`ScheduleTrace`, so a report includes the trace digest: two runs
@@ -37,9 +43,22 @@ import sys
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..core import PastConfig, PastNetwork, RetryPolicy, audit, derive_seed
+from ..core import (
+    AntiEntropyScrubber,
+    PastConfig,
+    PastNetwork,
+    RetryPolicy,
+    audit,
+    derive_seed,
+)
 from ..core.invariants import AuditReport
-from ..netsim import EventSimulator, FaultPlan, ScheduleTrace
+from ..netsim import (
+    DISK_READONLY,
+    EventSimulator,
+    FaultPlan,
+    ScheduleTrace,
+    StorageFaultPlan,
+)
 from ..pastry import idspace
 from ..pastry.keepalive import KeepAliveMonitor
 
@@ -86,6 +105,21 @@ class ChaosConfig:
     probe_timeout: float = 3.0
     #: Client resilience (None = the no-retry baseline client).
     policy: Optional[RetryPolicy] = None
+    #: Storage-fault plane: a StorageFaultPlan is installed iff any of
+    #: these is non-zero (bitrot_rate is per replica-byte per virtual
+    #: second; see netsim.faults).
+    bitrot_rate: float = 0.0
+    partial_write: float = 0.0
+    disk_read_error: float = 0.0
+    #: Flip this many disks to readonly mode at ``readonly_at``.
+    readonly_count: int = 0
+    readonly_at: float = 1.0
+    #: Anti-entropy scrubbing: per-node scrub period (0 = scrubber off).
+    scrub_interval: float = 0.0
+    scrub_jitter: float = 0.0
+    #: Fixed file size for the workload (None = lognormal paper sizes);
+    #: bitrot sweeps pin it so corruption odds are uniform across files.
+    file_size: Optional[int] = None
 
 
 @dataclass
@@ -115,6 +149,21 @@ class ChaosReport:
     audit_ok: bool = True
     violations: List[str] = field(default_factory=list)
     false_detections: int = 0
+    #: StorageFaultPlan counters at heal time.
+    bitrot_corruptions: int = 0
+    partial_writes: int = 0
+    disk_read_errors: int = 0
+    writes_refused: int = 0
+    #: Integrity-plane reactions (IntegrityStats) + post-heal audit.
+    integrity_failovers: int = 0
+    read_repairs: int = 0
+    re_replications: int = 0
+    scrub_rounds: int = 0
+    scrub_corrupt_found: int = 0
+    corrupt_files: int = 0
+    unrecoverable_files: int = 0
+    unrecoverable_file_ids: List[str] = field(default_factory=list)
+    healed_file_ids: List[str] = field(default_factory=list)
 
     @property
     def lookup_success(self) -> float:
@@ -145,7 +194,10 @@ def _build_deployment(cfg: ChaosConfig, rng: random.Random) -> PastNetwork:
     owner = net.create_client("chaos")
     node_ids = [n.node_id for n in net.nodes()]
     for i in range(cfg.n_files):
-        size = min(int(rng.lognormvariate(7.2, 1.5)) + 1, 50_000)
+        if cfg.file_size is not None:
+            size = cfg.file_size
+        else:
+            size = min(int(rng.lognormvariate(7.2, 1.5)) + 1, 50_000)
         result = net.insert(
             f"x{i}", owner, size, node_ids[rng.randrange(len(node_ids))]
         )
@@ -213,6 +265,31 @@ def run_chaos(cfg: ChaosConfig, scenario: str = "custom",
     )
     plan = _make_plan(cfg, net, sim, rng)
 
+    splan: Optional[StorageFaultPlan] = None
+    scrubber: Optional[AntiEntropyScrubber] = None
+    if (cfg.bitrot_rate > 0.0 or cfg.partial_write > 0.0
+            or cfg.disk_read_error > 0.0 or cfg.readonly_count > 0):
+        splan = StorageFaultPlan(
+            seed=derive_seed(cfg.seed, "chaos-disk"),
+            bitrot_rate=cfg.bitrot_rate,
+            partial_write=cfg.partial_write,
+            read_error=cfg.disk_read_error,
+        )
+        net.install_storage_faults(splan, clock=lambda: sim.now)
+        if cfg.readonly_count > 0:
+            shuffled = sorted(net.pastry.node_ids)
+            rng.shuffle(shuffled)
+            for node_id in shuffled[: cfg.readonly_count]:
+                splan.schedule_disk_mode(cfg.readonly_at, node_id, DISK_READONLY)
+    if cfg.scrub_interval > 0.0:
+        scrubber = AntiEntropyScrubber(
+            sim, net,
+            interval=cfg.scrub_interval,
+            jitter=cfg.scrub_jitter,
+            seed=cfg.seed,
+        )
+        scrubber.start()
+
     target_fid: Optional[int] = None
     if cfg.crash_target_replica_set:
         # §3.5's loss condition, made flesh: every replica holder of one
@@ -268,6 +345,7 @@ def run_chaos(cfg: ChaosConfig, scenario: str = "custom",
             result = net.lookup(fid, origin, policy=cfg.policy)
             report.lookups_attempted += 1
             report.total_attempts += result.attempts
+            report.integrity_failovers += result.integrity_failovers
             if result.success:
                 report.lookups_succeeded += 1
                 if result.hedged:
@@ -292,6 +370,17 @@ def run_chaos(cfg: ChaosConfig, scenario: str = "custom",
     report.rpcs_lost = plan.stats.rpcs_lost
     report.duplicates = plan.stats.duplicates
 
+    if splan is not None:
+        # Materialize rot still latent on never-read replicas (one
+        # verified read each), then retire the disk plane: from here on
+        # disks are healthy, but the corruption already on them stays.
+        net.verify_all_replicas()
+        report.bitrot_corruptions = splan.stats.bitrot_corruptions
+        report.partial_writes = splan.stats.partial_writes
+        report.disk_read_errors = splan.stats.read_errors
+        report.writes_refused = splan.stats.writes_refused
+        net.remove_storage_faults()
+
     # Restart anything still down (operators replace dead machines) so
     # the overlay audit runs at a true fixpoint; wiped disks stay wiped,
     # so this cannot resurrect a lost file.
@@ -304,12 +393,32 @@ def run_chaos(cfg: ChaosConfig, scenario: str = "custom",
     monitor.stop()
     net.repair_all()
 
+    if scrubber is not None:
+        scrubber.stop()
+        # Integrity fixpoint: round one heals every corrupt copy that
+        # still has a verified donor; round two catches copies that a
+        # round-one re-replication or repair just made healable.
+        scrubber.scrub_all()
+        scrubber.scrub_all()
+    report.read_repairs = net.integrity.read_repairs
+    report.re_replications = net.integrity.re_replications
+    report.scrub_rounds = net.integrity.scrub_rounds
+    report.scrub_corrupt_found = net.integrity.scrub_corrupt_found
+    report.healed_file_ids = [
+        hex(fid) for fid in sorted(net.integrity.healed_file_ids)
+    ]
+
     # -- oracles ----------------------------------------------------------
     outcome: AuditReport = audit(net, check_overlay=True)
     report.audit_ok = outcome.ok
     report.violations = [str(v) for v in outcome.violations]
     report.lost_files = outcome.lost_files
     report.lost_file_ids = [hex(fid) for fid in sorted(outcome.lost_file_ids)]
+    report.corrupt_files = outcome.corrupt_files
+    report.unrecoverable_files = outcome.unrecoverable_files
+    report.unrecoverable_file_ids = [
+        hex(fid) for fid in sorted(outcome.unrecoverable_file_ids)
+    ]
     report.degraded_files = len(net.degraded_files)
     report.digest = trace.digest()
     return report
@@ -395,6 +504,46 @@ def run_durability_demo(seed: int = 0) -> Dict[str, ChaosReport]:
     return {"spaced": spaced, "overlapping": overlapping}
 
 
+def run_bitrot_sweep(
+    seed: int = 0,
+    rates: Optional[Sequence[float]] = None,
+    scrub_interval: float = 0.5,
+) -> List[ChaosReport]:
+    """Silent bit rot with and without the anti-entropy scrubber.
+
+    Each rate runs the identical deployment twice: scrubbing off (the
+    baseline — latent rot accumulates unnoticed until every copy of
+    some file is damaged) and scrubbing on (detection plus read-repair
+    and re-replication must win the race).  No client lookups run, so
+    nothing *but* the scrubber can trip over the damage — the baseline
+    genuinely loses file contents.  At the top rate the off leg must
+    report unrecoverable files; the on leg must end with a clean audit,
+    zero unrecovered corruption, and the healed fileIds named.
+    """
+    rates = list(rates if rates is not None else (2e-5, 6e-5))
+    out: List[ChaosReport] = []
+    for rate in rates:
+        for scrub, tag in ((0.0, "scrub-off"), (scrub_interval, "scrub-on")):
+            cfg = ChaosConfig(
+                seed=seed,
+                n_nodes=16,
+                n_files=12,
+                # k=4: the scrubber's failure mode is all copies rotting
+                # inside one scrub window, which scales as p_window^k —
+                # one extra replica turns a seed-lucky oracle into a
+                # robust one without slowing the sweep.
+                k=4,
+                file_size=2000,
+                bitrot_rate=rate,
+                lookups_per_tick=0,
+                duration=20.0,
+                scrub_interval=scrub,
+                scrub_jitter=scrub / 6 if scrub else 0.0,
+            )
+            out.append(run_chaos(cfg, scenario=f"bitrot={rate:g}/{tag}"))
+    return out
+
+
 # ------------------------------------------------------------------ CLI
 
 
@@ -412,6 +561,22 @@ def _format_report(r: ChaosReport) -> str:
     line = "  ".join(parts)
     if r.lost_file_ids:
         line += "\n" + " " * 30 + "lost: " + ", ".join(r.lost_file_ids)
+    if r.bitrot_corruptions or r.partial_writes or r.disk_read_errors:
+        line += (
+            "\n" + " " * 30
+            + f"disk: rot {r.bitrot_corruptions}  torn {r.partial_writes}"
+            + f"  read-errs {r.disk_read_errors}"
+            + f"  repairs {r.read_repairs}  re-repl {r.re_replications}"
+            + f"  corrupt-files {r.corrupt_files}"
+            + f" (unrecoverable {r.unrecoverable_files})"
+        )
+    if r.unrecoverable_file_ids:
+        line += (
+            "\n" + " " * 30 + "unrecoverable: "
+            + ", ".join(r.unrecoverable_file_ids)
+        )
+    if r.healed_file_ids:
+        line += "\n" + " " * 30 + "healed: " + ", ".join(r.healed_file_ids)
     return line
 
 
@@ -422,7 +587,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--scenario",
-        choices=["loss-sweep", "partition", "durability", "all"],
+        choices=["loss-sweep", "partition", "durability", "bitrot", "all"],
         default="all",
     )
     parser.add_argument("--seed", type=int, default=7)
@@ -457,6 +622,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             failures.append(
                 "overlapping storm did not report the doomed file as lost"
             )
+    if args.scenario in ("bitrot", "all"):
+        sweep = run_bitrot_sweep(seed=args.seed)
+        reports.extend(sweep)
+        off_legs = [r for r in sweep if r.scenario.endswith("/scrub-off")]
+        on_legs = [r for r in sweep if r.scenario.endswith("/scrub-on")]
+        if not any(r.unrecoverable_files for r in off_legs):
+            failures.append(
+                "bitrot baseline (scrub off) lost no file contents — the "
+                "sweep proves nothing about the scrubber"
+            )
+        for r in on_legs:
+            if r.unrecoverable_files or r.corrupt_files or not r.audit_ok:
+                failures.append(
+                    f"{r.scenario}: unrecovered corruption survived the "
+                    "scrubber"
+                )
+            elif not r.healed_file_ids:
+                failures.append(
+                    f"{r.scenario}: scrubber healed nothing — bitrot never bit"
+                )
 
     if args.json:
         print(json.dumps(

@@ -19,11 +19,19 @@ from .eventsim import (
 )
 from .trace import Decision, ScheduleTrace, TraceEvent
 from .faults import (
+    DISK_FAILING,
+    DISK_OK,
+    DISK_READONLY,
     NEVER,
+    READ_CORRUPT,
+    READ_ERROR,
+    READ_OK,
     CrashEvent,
+    DiskModeEvent,
     FaultPlan,
     FaultStats,
     Partition,
+    StorageFaultPlan,
     Transmission,
 )
 
@@ -33,7 +41,11 @@ __all__ = [
     "TorusTopology",
     "ClusteredTopology",
     "CrashEvent",
+    "DISK_FAILING",
+    "DISK_OK",
+    "DISK_READONLY",
     "Decision",
+    "DiskModeEvent",
     "EventHandle",
     "EventSimulator",
     "FaultPlan",
@@ -43,6 +55,10 @@ __all__ = [
     "NEVER",
     "PAPER_PER_HOP_MS",
     "Partition",
+    "READ_CORRUPT",
+    "READ_ERROR",
+    "READ_OK",
+    "StorageFaultPlan",
     "PendingEvent",
     "PeriodicTimer",
     "SchedulePolicy",

@@ -151,9 +151,15 @@ class EventSimulator:
         period: float,
         callback: Callable[[], None],
         jitter_fn: Optional[Callable[[], float]] = None,
+        first_delay: Optional[float] = None,
     ) -> "PeriodicTimer":
-        """Run ``callback`` every ``period`` units until stopped."""
-        timer = PeriodicTimer(self, period, callback, jitter_fn)
+        """Run ``callback`` every ``period`` units until stopped.
+
+        ``first_delay`` overrides the delay before the *first* fire only
+        (jitter still applies) — used to phase-spread a fleet of per-node
+        timers instead of firing them all at the same instant.
+        """
+        timer = PeriodicTimer(self, period, callback, jitter_fn, first_delay)
         timer.start()
         return timer
 
@@ -265,13 +271,17 @@ class PeriodicTimer:
         period: float,
         callback: Callable[[], None],
         jitter_fn: Optional[Callable[[], float]] = None,
+        first_delay: Optional[float] = None,
     ):
         if period <= 0:
             raise ValueError("period must be positive")
+        if first_delay is not None and first_delay < 0:
+            raise ValueError("first_delay must be non-negative")
         self.sim = sim
         self.period = period
         self.callback = callback
         self.jitter_fn = jitter_fn
+        self._first_delay = first_delay
         self._handle: Optional[EventHandle] = None
         self._running = False
         self.fires = 0
@@ -283,7 +293,11 @@ class PeriodicTimer:
         self._arm()
 
     def _arm(self) -> None:
-        delay = self.period + (self.jitter_fn() if self.jitter_fn else 0.0)
+        base = self.period
+        if self._first_delay is not None:
+            base = self._first_delay
+            self._first_delay = None
+        delay = base + (self.jitter_fn() if self.jitter_fn else 0.0)
         self._handle = self.sim.schedule(max(1e-12, delay), self._fire)
 
     def _fire(self) -> None:

@@ -16,6 +16,12 @@ layers *consult* at every transmission point:
   keep-alive probe, and PAST's maintenance/fetch RPCs ask about
   request/reply pairs (:meth:`FaultPlan.rpc_lost`).
 
+The storage plane gets the same treatment: a :class:`StorageFaultPlan`
+describes *disk* adversity — bit rot accruing per replica-byte of
+virtual time, partial writes, transient read errors, and per-node disk
+modes (``readonly``/``failing``) — and the per-node stores consult it
+on every store and every verified read.
+
 Layering: this module knows nothing about Pastry or PAST — nodes are
 plain integers, time is whatever the bound clock callable returns — so
 ``netsim`` stays a leaf package.  Determinism: all randomness comes from
@@ -29,6 +35,7 @@ regression suite pins.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
@@ -91,7 +98,12 @@ _LOST = Transmission(lost=True)
 
 @dataclass
 class FaultStats:
-    """Counters for every fault the plan actually injected."""
+    """Counters for every fault the plan actually injected.
+
+    The network counters are filled by :class:`FaultPlan`, the storage
+    counters by :class:`StorageFaultPlan`; a harness running both folds
+    the two instances into one report.
+    """
 
     messages_lost: int = 0
     partition_drops: int = 0
@@ -100,6 +112,11 @@ class FaultStats:
     duplicates: int = 0
     delays_injected: int = 0
     delay_total: float = 0.0
+    # ------------------------------------------------- storage faults
+    bitrot_corruptions: int = 0
+    partial_writes: int = 0
+    read_errors: int = 0
+    writes_refused: int = 0
 
 
 class FaultPlan:
@@ -303,3 +320,202 @@ class FaultPlan:
             self.stats.probes_lost += 1
             return True
         return False
+
+
+# ----------------------------------------------------------- disk faults
+
+#: Disk health modes a :class:`StorageFaultPlan` can put a node into.
+DISK_OK = "ok"
+DISK_READONLY = "readonly"
+DISK_FAILING = "failing"
+
+_DISK_MODES = (DISK_OK, DISK_READONLY, DISK_FAILING)
+
+#: Verdicts for one replica read (:meth:`StorageFaultPlan.read`).
+READ_OK = "ok"
+READ_CORRUPT = "corrupt"
+READ_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class DiskModeEvent:
+    """One scheduled disk-mode transition (applied lazily by time)."""
+
+    time: float
+    node_id: int
+    mode: str
+
+
+class StorageFaultPlan:
+    """A seeded, deterministic schedule of *disk* adversity.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the plan's private RNG; all probabilistic decisions are
+        drawn from it in call order.
+    bitrot_rate:
+        Corruption hazard per replica-byte per unit of virtual time:
+        a replica of ``size`` bytes left unverified for ``dt`` rots with
+        probability ``1 - exp(-bitrot_rate * size * dt)``.  Rot is
+        evaluated lazily at read time and memoized — once a replica has
+        rotted it stays corrupt until :meth:`mark_repaired`.
+    partial_write:
+        Probability that a store lands corrupted on disk (torn write).
+    read_error:
+        Probability that one read fails transiently (retrying later may
+        succeed; nothing is memoized).
+    failing_read_error:
+        Transient-read-error probability applied on a ``failing`` disk
+        (combined with ``read_error`` by taking the maximum).
+
+    Disk modes: ``readonly`` and ``failing`` disks refuse all new
+    replica bytes (:meth:`writable`); a ``failing`` disk additionally
+    returns read errors at ``failing_read_error``.  Mode transitions
+    are either immediate (:meth:`set_disk_mode`) or scheduled at a
+    virtual time (:meth:`schedule_disk_mode`) and evaluated lazily
+    against the bound clock, like partitions.
+
+    Determinism mirrors :class:`FaultPlan`: one RNG consumed in call
+    order, zero draws from a plan whose rates are all zero, and an
+    absent plan (``None``) costs the store/read hot paths a single
+    attribute check.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        bitrot_rate: float = 0.0,
+        partial_write: float = 0.0,
+        read_error: float = 0.0,
+        failing_read_error: float = 0.5,
+    ):
+        for name, p in (("partial_write", partial_write),
+                        ("read_error", read_error),
+                        ("failing_read_error", failing_read_error)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if bitrot_rate < 0.0:
+            raise ValueError("bitrot_rate must be non-negative")
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.bitrot_rate = bitrot_rate
+        self.partial_write = partial_write
+        self.read_error = read_error
+        self.failing_read_error = failing_read_error
+        self.stats = FaultStats()
+        #: node -> immediately-applied disk mode (see also mode events).
+        self._modes: Dict[int, str] = {}
+        #: scheduled transitions, kept sorted by (time, insertion order).
+        self._mode_events: List[DiskModeEvent] = []
+        #: (node, file) pairs whose on-disk bytes are known corrupt.
+        self._corrupt: Set[Tuple[int, int]] = set()
+        self._now: Callable[[], float] = lambda: 0.0
+
+    # ------------------------------------------------------------- building
+
+    def bind_clock(self, now_fn: Callable[[], float]) -> "StorageFaultPlan":
+        """Attach the virtual clock that rot and mode schedules read."""
+        self._now = now_fn
+        return self
+
+    @property
+    def now(self) -> float:
+        return self._now()
+
+    def set_disk_mode(self, node_id: int, mode: str) -> None:
+        """Put a node's disk into ``mode`` immediately."""
+        if mode not in _DISK_MODES:
+            raise ValueError(f"unknown disk mode {mode!r}")
+        self._modes[node_id] = mode
+
+    def schedule_disk_mode(self, time: float, node_id: int, mode: str) -> DiskModeEvent:
+        """Transition a node's disk into ``mode`` at virtual ``time``."""
+        if mode not in _DISK_MODES:
+            raise ValueError(f"unknown disk mode {mode!r}")
+        event = DiskModeEvent(time, node_id, mode)
+        self._mode_events.append(event)
+        self._mode_events.sort(key=lambda e: e.time)
+        return event
+
+    # ------------------------------------------------------------ decisions
+
+    def disk_mode(self, node_id: int) -> str:
+        """The node's disk mode at the current virtual time."""
+        mode = self._modes.get(node_id, DISK_OK)
+        if self._mode_events:
+            now = self._now()
+            for event in self._mode_events:
+                if event.time > now:
+                    break
+                if event.node_id == node_id:
+                    mode = event.mode
+        return mode
+
+    def writable(self, node_id: int) -> bool:
+        """Whether new replica bytes may be written to this disk."""
+        return self.disk_mode(node_id) == DISK_OK
+
+    def store_written(self, node_id: int, file_id: int, size: int) -> bool:
+        """Partial-write verdict for one accepted store.
+
+        Returns True when the write landed corrupted (torn); the plan
+        remembers the corruption until :meth:`mark_repaired`.  Callers
+        check :meth:`writable` *before* accepting the store; a write to
+        a readonly/failing disk is a caller bug, not a fault decision.
+        """
+        if self.partial_write > 0.0 and self.rng.random() < self.partial_write:
+            self._corrupt.add((node_id, file_id))
+            self.stats.partial_writes += 1
+            return True
+        return False
+
+    def refuse_write(self, node_id: int) -> None:
+        """Count one store refused by a readonly/failing disk."""
+        self.stats.writes_refused += 1
+
+    def read(self, node_id: int, file_id: int, size: int, elapsed: float) -> str:
+        """Verdict for one replica read.
+
+        ``elapsed`` is the virtual time since this copy was last stored
+        or verified; bit rot accrues over it.  Returns one of
+        :data:`READ_OK`, :data:`READ_CORRUPT` (sticky until
+        :meth:`mark_repaired`) or :data:`READ_ERROR` (transient).
+        """
+        mode = self.disk_mode(node_id)
+        if mode == DISK_FAILING:
+            p = max(self.read_error, self.failing_read_error)
+            if p > 0.0 and self.rng.random() < p:
+                self.stats.read_errors += 1
+                return READ_ERROR
+        key = (node_id, file_id)
+        if key in self._corrupt:
+            return READ_CORRUPT
+        if self.bitrot_rate > 0.0 and elapsed > 0.0:
+            p = 1.0 - math.exp(-self.bitrot_rate * size * elapsed)
+            if self.rng.random() < p:
+                self._corrupt.add(key)
+                self.stats.bitrot_corruptions += 1
+                return READ_CORRUPT
+        if mode != DISK_FAILING and self.read_error > 0.0:
+            if self.rng.random() < self.read_error:
+                self.stats.read_errors += 1
+                return READ_ERROR
+        return READ_OK
+
+    # ---------------------------------------------------------- bookkeeping
+
+    def is_corrupt(self, node_id: int, file_id: int) -> bool:
+        return (node_id, file_id) in self._corrupt
+
+    def mark_repaired(self, node_id: int, file_id: int) -> None:
+        """A verified copy was rewritten over the corrupt bytes."""
+        self._corrupt.discard((node_id, file_id))
+
+    def forget(self, node_id: int, file_id: int) -> None:
+        """The replica left this disk (dropped/migrated); clear its state."""
+        self._corrupt.discard((node_id, file_id))
+
+    def forget_node(self, node_id: int) -> None:
+        """A disk was wiped; clear every corruption record it held."""
+        self._corrupt = {key for key in self._corrupt if key[0] != node_id}

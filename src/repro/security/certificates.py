@@ -41,6 +41,18 @@ def content_hash(content: bytes) -> bytes:
     return hashlib.sha1(content).digest()
 
 
+def corrupted_content_hash(file_id: int, size: int) -> bytes:
+    """The hash a reader computes over rotted or torn on-disk bytes.
+
+    The simulator flags corruption instead of flipping real bytes; this
+    is the digest such a read observes — deterministically distinct from
+    both :func:`simulated_content_hash` and any real content hash, so a
+    verified read (recompute + compare against the certificate) detects
+    the damage exactly as it would with materialized bytes.
+    """
+    return hashlib.sha1(b"corrupt|%d|%d" % (file_id, size)).digest()
+
+
 @dataclass(frozen=True)
 class FileCertificate:
     """Signed metadata accompanying every inserted file."""

@@ -1,0 +1,241 @@
+"""Integrity plane: verified reads, read-repair, anti-entropy scrubbing."""
+
+import random
+
+import pytest
+
+from repro.core import AntiEntropyScrubber, RetryPolicy, audit
+from repro.netsim.eventsim import EventSimulator
+from repro.netsim.faults import DISK_READONLY, READ_CORRUPT, StorageFaultPlan
+from repro.pastry import idspace
+from tests.conftest import build_past
+
+
+def build_loaded(n=16, n_files=8, seed=70, k=3):
+    net = build_past(n, k=k, l=8, seed=seed, cache_policy="none")
+    owner = net.create_client("int-owner")
+    net.int_owner = owner  # test-only handle for reclaim
+    rng = random.Random(seed)
+    node_ids = [node.node_id for node in net.nodes()]
+    fids = []
+    for i in range(n_files):
+        res = net.insert(f"int{i}", owner, 20_000,
+                         node_ids[rng.randrange(len(node_ids))])
+        assert res.success
+        fids.append(res.file_id)
+    return net, fids, node_ids
+
+
+def holders_of(net, fid):
+    """The kset members that physically hold a copy, closest first."""
+    cert = net.certificate_of(fid)
+    kset = net.pastry.k_closest_live(idspace.routing_key(fid), cert.k)
+    out = []
+    for member_id in kset:
+        member = net.past_node_or_none(member_id)
+        if member is not None and member.store.holds_file(fid):
+            out.append(member)
+    return out
+
+
+def flag_corrupt(node, fid):
+    """Simulate a copy whose last verified read found corruption."""
+    node.store.get_replica(fid).corrupted = True
+
+
+class TestVerifiedLookups:
+    def test_lookup_fails_over_past_corrupt_copy_and_repairs_it(self):
+        net, fids, node_ids = build_loaded()
+        fid = fids[0]
+        victim = holders_of(net, fid)[0]
+        flag_corrupt(victim, fid)
+        result = net.lookup(fid, node_ids[0], policy=RetryPolicy(max_attempts=4))
+        assert result.success
+        assert result.integrity_failovers >= 1
+        assert net.integrity.failed_reads >= 1
+        # The serve failed over, but the corrupt copy was read-repaired.
+        assert not victim.store.get_replica(fid).corrupted
+        assert net.integrity.read_repairs == 1
+        assert fid in net.integrity.healed_file_ids
+
+    def test_clean_lookup_reports_no_failovers(self):
+        net, fids, node_ids = build_loaded()
+        result = net.lookup(fids[0], node_ids[0])
+        assert result.success and result.integrity_failovers == 0
+        assert net.integrity.failed_reads == 0
+
+
+class TestReadRepair:
+    def test_no_donor_means_no_repair(self):
+        net, fids, _ = build_loaded()
+        fid = fids[0]
+        holders = holders_of(net, fid)
+        for node in holders:
+            flag_corrupt(node, fid)
+        assert not holders[0].read_repair(fid)
+        for node in holders:
+            assert node.store.get_replica(fid).corrupted
+
+    def test_audit_reports_unrecoverable_as_outcome_not_violation(self):
+        net, fids, _ = build_loaded()
+        fid = fids[0]
+        for node in holders_of(net, fid):
+            flag_corrupt(node, fid)
+        report = audit(net)
+        assert report.ok  # availability outcome, not a bookkeeping bug
+        assert report.corrupt_files == 1
+        assert report.unrecoverable_files == 1
+        assert report.unrecoverable_file_ids == [fid]
+
+    def test_audit_flags_unhealed_corruption_with_live_donor(self):
+        net, fids, _ = build_loaded()
+        fid = fids[0]
+        flag_corrupt(holders_of(net, fid)[0], fid)
+        report = audit(net)
+        assert not report.ok
+        assert any(v.kind == "integrity" for v in report.violations)
+        assert report.corrupt_files == 1 and report.unrecoverable_files == 0
+
+
+class TestScrubber:
+    def test_validation(self):
+        net, _, _ = build_loaded()
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            AntiEntropyScrubber(sim, net, interval=0.0)
+        with pytest.raises(ValueError):
+            AntiEntropyScrubber(sim, net, interval=1.0, jitter=1.0)
+
+    def test_scrub_all_heals_local_corruption(self):
+        net, fids, _ = build_loaded()
+        fid = fids[0]
+        flag_corrupt(holders_of(net, fid)[0], fid)
+        scrubber = AntiEntropyScrubber(EventSimulator(), net, interval=1.0)
+        scrubber.scrub_all()
+        assert net.integrity.scrub_corrupt_found >= 1
+        assert net.integrity.read_repairs == 1
+        assert audit(net).ok and audit(net).corrupt_files == 0
+
+    def test_digest_exchange_heals_remote_member(self):
+        """A clean member's scrub round repairs a *peer's* corrupt copy."""
+        net, fids, _ = build_loaded()
+        fid = fids[0]
+        holders = holders_of(net, fid)
+        assert len(holders) >= 2
+        clean, corrupt = holders[0], holders[1]
+        flag_corrupt(corrupt, fid)
+        scrubber = AntiEntropyScrubber(EventSimulator(), net, interval=1.0)
+        scrubber.scrub_node(clean.node_id)
+        assert not corrupt.store.get_replica(fid).corrupted
+        assert net.integrity.scrub_corrupt_found == 1
+
+    def test_digest_exchange_rereplicates_missing_entry(self):
+        """A member with neither replica nor pointer triggers §3.5 repair."""
+        net, fids, _ = build_loaded()
+        fid = fids[0]
+        holders = holders_of(net, fid)
+        observer, loser = holders[0], holders[1]
+        loser.store.drop_replica(fid)  # silent byte loss, no maintenance
+        scrubber = AntiEntropyScrubber(EventSimulator(), net, interval=1.0)
+        scrubber.scrub_node(observer.node_id)
+        assert net.integrity.scrub_missing_found == 1
+        assert audit(net).ok
+
+    def test_stale_entries_are_garbage_collected(self):
+        net, fids, _ = build_loaded()
+        fid = fids[0]
+        node = holders_of(net, fid)[0]
+        cert = net.certificate_of(fid)
+        assert net.reclaim(fid, net.int_owner, node.node_id).success
+        assert net.certificate_of(fid) is None
+        # Resurrect a stale copy by hand, as if a reclaim RPC had died
+        # in flight and left bytes behind on one disk.
+        node.store.store_replica(cert, diverted=False)
+        scrubber = AntiEntropyScrubber(EventSimulator(), net, interval=1.0)
+        scrubber.scrub_all()
+        assert not node.store.holds_file(fid)
+        assert net.integrity.scrub_stale_dropped == 1
+        assert audit(net).ok
+
+    def test_timers_fire_and_respect_stop(self):
+        net, _, _ = build_loaded()
+        sim = EventSimulator()
+        scrubber = AntiEntropyScrubber(sim, net, interval=1.0, jitter=0.25,
+                                       seed=5)
+        scrubber.start()
+        sim.run_until(3.0)
+        fired = net.integrity.scrub_rounds
+        assert fired > 0
+        scrubber.stop()
+        sim.run_until(6.0)
+        assert net.integrity.scrub_rounds == fired
+
+    def test_crashed_nodes_are_skipped(self):
+        net, fids, _ = build_loaded()
+        victim = holders_of(net, fids[0])[0]
+        net.crash_node(victim.node_id)
+        scrubber = AntiEntropyScrubber(EventSimulator(), net, interval=1.0)
+        before = net.integrity.scrub_rounds
+        scrubber.scrub_node(victim.node_id)
+        assert net.integrity.scrub_rounds == before
+
+
+class TestDegradedDisks:
+    def test_readonly_disk_sheds_corrupt_replica_for_rereplication(self):
+        net, fids, _ = build_loaded()
+        fid = fids[0]
+        splan = StorageFaultPlan(seed=1)
+        net.install_storage_faults(splan, clock=lambda: 1.0)
+        victim = holders_of(net, fid)[0]
+        # Materialize rot on exactly one copy: a certain-rot hazard for
+        # one verified read, then back to zero for everyone else.
+        splan.bitrot_rate = 1e9
+        assert victim.store.verify_replica(fid) == READ_CORRUPT
+        splan.bitrot_rate = 0.0
+        splan.set_disk_mode(victim.node_id, DISK_READONLY)
+
+        assert not victim.read_repair(fid)  # rewrite refused -> shed
+        assert not victim.store.holds_file(fid)
+        assert net.integrity.re_replications == 1
+        assert fid in net.integrity.healed_file_ids
+        report = audit(net)
+        assert report.ok and report.corrupt_files == 0
+
+    def test_diverted_replica_shed_keeps_pointers_consistent(self):
+        """Re-replicating a corrupt diverted copy must not strand pointers."""
+        net = build_past(10, capacity=12_000, k=3, l=8, seed=7,
+                         cache_policy="none", t_pri=0.5, t_div=0.25)
+        owner = net.create_client("div-owner")
+        rng = random.Random(7)
+        node_ids = [node.node_id for node in net.nodes()]
+        for i in range(12):
+            net.insert(f"div{i}", owner, rng.randrange(1_500, 3_500),
+                       node_ids[rng.randrange(len(node_ids))])
+        targets = sorted(n.node_id for n in net.nodes() if n.store.diverted_in)
+        assert targets, "deployment produced no diverted replicas"
+        victim = net.past_node_or_none(targets[0])
+        fid = sorted(victim.store.diverted_in)[0]
+
+        splan = StorageFaultPlan(seed=1)
+        net.install_storage_faults(splan, clock=lambda: 1.0)
+        splan.bitrot_rate = 1e9
+        assert victim.store.verify_replica(fid) == READ_CORRUPT
+        splan.bitrot_rate = 0.0
+        splan.set_disk_mode(victim.node_id, DISK_READONLY)
+
+        scrubber = AntiEntropyScrubber(EventSimulator(), net, interval=1.0)
+        scrubber.scrub_all()
+        assert not victim.store.holds_file(fid)
+        report = audit(net)
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.corrupt_files == 0
+
+    def test_readonly_disk_still_serves_verified_reads(self):
+        net, fids, node_ids = build_loaded()
+        fid = fids[0]
+        splan = StorageFaultPlan(seed=1)
+        net.install_storage_faults(splan, clock=lambda: 1.0)
+        for node in holders_of(net, fid):
+            splan.set_disk_mode(node.node_id, DISK_READONLY)
+        result = net.lookup(fid, node_ids[0])
+        assert result.success and result.integrity_failovers == 0

@@ -165,3 +165,96 @@ class TestSnapshot:
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             LocalStore(-1)
+
+
+class TestDiskFaultAccounting:
+    """Charge/refund symmetry and write refusal under a storage fault plan."""
+
+    def make_faulty(self, node_id=5, **plan_kw):
+        from repro.netsim.faults import StorageFaultPlan
+
+        store = make(1000)
+        store.node_id = node_id
+        plan = StorageFaultPlan(seed=2, **plan_kw)
+        store.fault_plan = plan
+        store.now = lambda: 1.0
+        return store, plan
+
+    def test_charge_refund_symmetry_through_corruption_and_repair(self):
+        from repro.core.storage import REPLICA_MISSING
+        from repro.netsim.faults import READ_CORRUPT, READ_OK
+
+        store, plan = self.make_faulty(partial_write=1.0)
+        replica = store.store_replica(cert(1, 100), diverted=False)
+        assert replica.corrupted and store.used == 100
+        assert store.verify_replica(1) == READ_CORRUPT
+        plan.partial_write = 0.0
+        assert store.repair_replica(1)
+        assert store.used == 100 and not replica.corrupted
+        assert store.verify_replica(1) == READ_OK
+        store.drop_replica(1)
+        assert store.used == 0
+        assert not plan.is_corrupt(5, 1)
+        assert store.verify_replica(1) == REPLICA_MISSING
+        assert not store.repair_replica(1)
+
+    def test_repair_rewrite_can_tear_again(self):
+        store, plan = self.make_faulty(partial_write=1.0)
+        store.store_replica(cert(1, 100), diverted=False)
+        assert not store.repair_replica(1)  # the rewrite itself tore
+        plan.partial_write = 0.0
+        assert store.repair_replica(1)
+
+    def test_readonly_disk_raises_capacity_error(self):
+        from repro.netsim.faults import DISK_READONLY
+
+        store, plan = self.make_faulty()
+        plan.set_disk_mode(5, DISK_READONLY)
+        assert not store.can_accept(10, 1.0)
+        with pytest.raises(CapacityError):
+            store.store_replica(cert(2, 10), diverted=False)
+        assert plan.stats.writes_refused == 1
+        assert store.used == 0 and not store.holds_file(2)
+
+    def test_readonly_disk_refuses_repair_rewrite(self):
+        from repro.netsim.faults import DISK_READONLY
+
+        store, plan = self.make_faulty(partial_write=1.0)
+        store.store_replica(cert(1, 100), diverted=False)
+        plan.partial_write = 0.0
+        plan.set_disk_mode(5, DISK_READONLY)
+        assert not store.repair_replica(1)
+        assert store.get_replica(1).corrupted
+
+    def test_corrupt_cache_copy_is_evicted_not_repaired(self):
+        store, plan = self.make_faulty(bitrot_rate=1e9)
+        now = {"t": 0.0}
+        store.now = lambda: now["t"]
+        assert store.cache.consider(9, 50)
+        store.note_cached(9)
+        now["t"] = 1.0
+        assert not store.verified_cache_hit(9)
+        assert not store.cache.lookup(9)
+        # The corruption record leaves with the evicted copy: a future
+        # replica of the same fid on this disk starts clean.
+        assert not plan.is_corrupt(5, 9)
+
+    def test_verified_cache_hit_clean_path(self):
+        store, plan = self.make_faulty()
+        state = plan.rng.getstate()
+        assert store.cache.consider(9, 50)
+        store.note_cached(9)
+        assert store.verified_cache_hit(9)
+        assert plan.rng.getstate() == state  # zero rates -> zero draws
+
+    def test_no_plan_paths_are_noops(self):
+        from repro.netsim.faults import READ_OK
+
+        store = make(1000)
+        store.store_replica(cert(1, 100), diverted=False)
+        assert store.verify_replica(1) == READ_OK
+        assert store.repair_replica(1)
+        assert store.cache.consider(9, 50)
+        store.note_cached(9)
+        assert store.verified_cache_hit(9)
+        assert store._cache_checked == {}

@@ -158,7 +158,7 @@ class TestReplayFidelity:
         )
         assert plain.trace.digests == policed.trace.digests
 
-    @pytest.mark.parametrize("scenario", ["join", "churn", "divert"])
+    @pytest.mark.parametrize("scenario", ["join", "churn", "divert", "scrub"])
     def test_plan_replays_identical_digest_stream(self, scenario):
         explorer = Explorer(
             SCENARIOS[scenario], seed=7, independence=NO_PRUNING
@@ -346,6 +346,16 @@ class TestCLI:
     def test_explore_clean_exit_zero(self, capsys):
         code = explore_main([
             "--scenario", "join", "--budget", "4", "--seed", "7",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no schedule violated" in out
+
+    def test_scrub_scenario_explores_clean(self, capsys):
+        """Scrub rounds racing a crash/recovery: every explored schedule
+        must still reach the integrity fixpoint (audit oracle clean)."""
+        code = explore_main([
+            "--scenario", "scrub", "--budget", "6", "--seed", "7",
         ])
         out = capsys.readouterr().out
         assert code == 0

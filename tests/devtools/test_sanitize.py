@@ -53,7 +53,7 @@ class TestFirstDivergence:
 
 class TestScenarios:
     def test_scenario_registry(self):
-        assert set(SCENARIOS) == {"churn", "hazard"}
+        assert set(SCENARIOS) == {"churn", "scrub", "hazard"}
 
     def test_hazard_scenario_runs_all_events(self):
         trace = scenario_hazard(seed=1)

@@ -102,3 +102,43 @@ class TestDurability:
         # Losing a file is an availability event, not a corruption: the
         # post-heal audit is still clean.
         assert report.audit_ok, report.violations
+
+
+class TestIntegrity:
+    """Storage-fault plane: bit rot vs. the anti-entropy scrubber."""
+
+    def bitrot(self, scrub, seed=3, rate=6e-5, **kw):
+        defaults = dict(
+            seed=seed, n_nodes=16, n_files=12, k=4, file_size=2000,
+            bitrot_rate=rate, lookups_per_tick=0, duration=20.0,
+            scrub_interval=scrub,
+            scrub_jitter=scrub / 6 if scrub else 0.0,
+        )
+        defaults.update(kw)
+        return ChaosConfig(**defaults)
+
+    def test_bitrot_without_scrub_destroys_file_contents(self):
+        """No lookups, no scrubber: rot accumulates until every copy of
+        some file is damaged — unrecoverable, reported by id."""
+        report = run_chaos(self.bitrot(0.0), scenario="rot-off")
+        assert report.bitrot_corruptions > 0
+        assert report.corrupt_files > 0
+        assert report.unrecoverable_files > 0
+        assert report.unrecoverable_file_ids
+        assert report.scrub_rounds == 0 and report.read_repairs == 0
+
+    def test_scrubber_recovers_one_hundred_percent(self):
+        report = run_chaos(self.bitrot(0.5), scenario="rot-on")
+        assert report.bitrot_corruptions > 0
+        assert report.scrub_rounds > 0
+        assert report.read_repairs > 0
+        assert report.corrupt_files == 0
+        assert report.unrecoverable_files == 0
+        assert report.audit_ok, report.violations
+        # The oracle names every corrupted-then-healed file.
+        assert report.healed_file_ids
+
+    def test_bitrot_report_is_reproducible(self):
+        a = run_chaos(self.bitrot(0.5), scenario="rot")
+        b = run_chaos(self.bitrot(0.5), scenario="rot")
+        assert a.to_json() == b.to_json()

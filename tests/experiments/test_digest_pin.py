@@ -1,0 +1,49 @@
+"""Pinned schedule-trace digests: the integrity plane's zero-cost bar.
+
+With no StorageFaultPlan installed, every integrity hook on the
+store/read hot paths must cost at most an attribute check and zero RNG
+draws, so the executed schedules of the pre-existing chaos and explorer
+scenarios are **byte-identical** to what they were before the plane
+existed.  These constants were recorded on the commit immediately
+preceding the integrity plane; if one of these tests fails, a
+supposedly-dormant hook perturbed a schedule (or consumed entropy) and
+every historical trace digest in CI just silently changed meaning.
+
+The pins are hashseed-independent by construction (CI runs the suite
+under PYTHONHASHSEED=0 and 31337).
+"""
+
+from repro.core import RetryPolicy
+from repro.devtools.explore.scenarios import SCENARIOS
+from repro.experiments.chaos import ChaosConfig, run_chaos
+
+CHAOS_LOSS_PIN = "3395691d3167eed2c5c6285feca18fcb5bd118a721105901cc6c563dbb6eafaf"
+CHAOS_CRASH_PIN = "357ba7196680e0b3e2678bc96a33361057b42cd4fd136e76031e5ca168065465"
+EXPLORE_CHURN_PIN = "caf43c7fdff90e526cf323389a298afe10109d8779a94b937291c67e283330c2"
+EXPLORE_CHAOS_PIN = "fb377b6d48579b98d76d18c1c783976a2bdded11432dc49f2442883951e661d4"
+
+
+class TestFaultFreeDigestsAreByteIdentical:
+    def test_chaos_loss_scenario_pin(self):
+        report = run_chaos(
+            ChaosConfig(seed=3, n_nodes=14, n_files=10, k=3, duration=8.0,
+                        lookups_per_tick=4, loss=0.2,
+                        policy=RetryPolicy(max_attempts=4)),
+            scenario="pin",
+        )
+        assert report.digest == CHAOS_LOSS_PIN
+
+    def test_chaos_crash_scenario_pin(self):
+        report = run_chaos(
+            ChaosConfig(seed=3, n_nodes=14, n_files=10, k=3, duration=12.0,
+                        lookups_per_tick=4, crash_count=2,
+                        crash_interarrival=3.0),
+            scenario="pin-crash",
+        )
+        assert report.digest == CHAOS_CRASH_PIN
+
+    def test_explorer_churn_scenario_pin(self):
+        assert SCENARIOS["churn"](7).trace.digest() == EXPLORE_CHURN_PIN
+
+    def test_explorer_chaos_scenario_pin(self):
+        assert SCENARIOS["chaos"](7).trace.digest() == EXPLORE_CHAOS_PIN

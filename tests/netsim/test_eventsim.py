@@ -421,6 +421,26 @@ class TestPeriodicTimer:
         sim.run_until(4.0)
         assert ticks == [1.5, 3.0]
 
+    def test_first_delay_phase_spreads_then_keeps_period(self):
+        sim = EventSimulator()
+        ticks = []
+        sim.every(2.0, lambda: ticks.append(sim.now), first_delay=0.5)
+        sim.run_until(7.0)
+        assert ticks == [0.5, 2.5, 4.5, 6.5]
+
+    def test_zero_first_delay_fires_immediately_once(self):
+        sim = EventSimulator()
+        ticks = []
+        sim.every(2.0, lambda: ticks.append(sim.now), first_delay=0.0)
+        sim.run_until(5.0)
+        # The zero delay is clamped to an epsilon; the period then holds.
+        assert ticks == pytest.approx([0.0, 2.0, 4.0])
+
+    def test_rejects_negative_first_delay(self):
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            sim.every(1.0, lambda: None, first_delay=-0.1)
+
     def test_rejects_nonpositive_period(self):
         sim = EventSimulator()
         with pytest.raises(ValueError):

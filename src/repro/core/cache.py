@@ -152,6 +152,11 @@ class CacheManager:
     :meth:`shrink_to` and cached files are discarded.
     """
 
+    __slots__ = (
+        "_policy", "_available_fn", "_insert_fraction", "_entries",
+        "bytes_used", "insertions", "evictions", "hits", "misses",
+    )
+
     def __init__(
         self,
         policy: Optional[EvictionPolicy],

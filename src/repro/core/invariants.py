@@ -231,7 +231,7 @@ def _audit_overlay(network: PastNetwork, report: AuditReport) -> None:
     """
     pastry = network.pastry
     for node in pastry.nodes():
-        for peer_id in sorted(node.leafset.members()):
+        for peer_id in node.leafset.sorted_members():
             peer = pastry.get_live(peer_id)
             if peer is None:
                 report.add(

@@ -277,7 +277,7 @@ class PastNetwork:
             depth = idspace.shared_prefix_length(hop.node_id, pastry_node.node_id, net.b)
             for row in range(min(depth + 1, pastry_node.routing_table.rows)):
                 pastry_node.routing_table.install_row(row, hop.routing_table.row(row))
-        for member in sorted(pastry_node.leafset.members()):
+        for member in pastry_node.leafset.sorted_members():
             pastry_node.routing_table.consider(member)
         net._register(pastry_node)
         contacts = set(pastry_node.leafset.members())

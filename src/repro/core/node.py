@@ -281,7 +281,7 @@ class PastNode(PastryApplication):
         candidates = []
         # Sorted: the candidate order feeds rng.choice under the "random"
         # ablation policy, so it must be hashseed-independent.
-        for member_id in sorted(self.leafset.members()):
+        for member_id in self.leafset.sorted_members():
             if member_id in exclude:
                 continue
             member = self.network.past_node_or_none(member_id)

@@ -26,7 +26,6 @@ primaries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Set
 
 from ..netsim.faults import READ_CORRUPT, READ_ERROR, READ_OK
@@ -43,25 +42,44 @@ if TYPE_CHECKING:  # pragma: no cover
 REPLICA_MISSING = "missing"
 
 
-@dataclass
 class StoredReplica:
-    """A replica held on this node's disk."""
+    """A replica held on this node's disk.
 
-    certificate: FileCertificate
-    diverted: bool = False
-    #: Nodes holding a diversion pointer to this replica (for diverted
-    #: replicas: the diverting primary A and the backup C).  These pairs
-    #: exchange explicit keep-alives when leaf sets drift apart (§3.5).
-    referrers: Set[int] = field(default_factory=set)
-    #: The on-disk bytes no longer match the certificate (torn write or
-    #: bit rot).  Maintained by :meth:`LocalStore.verify_replica`; the
-    #: invariant audit reads this flag instead of re-consulting the
-    #: fault plan so auditing stays free of RNG draws.
-    corrupted: bool = False
-    #: Virtual times bracketing the bit-rot exposure window: rot accrues
-    #: over ``now - max(stored_at, last_checked)``.
-    stored_at: float = 0.0
-    last_checked: float = 0.0
+    A plain ``__slots__`` class rather than a dataclass: one instance
+    exists per (file, holder) pair across the whole deployment, so at
+    experiment scale the per-instance ``__dict__`` a default-bearing
+    dataclass would carry dominates the record's own footprint.
+    """
+
+    __slots__ = (
+        "certificate", "diverted", "referrers", "corrupted",
+        "stored_at", "last_checked",
+    )
+
+    def __init__(
+        self,
+        certificate: FileCertificate,
+        diverted: bool = False,
+        referrers: Optional[Set[int]] = None,
+        corrupted: bool = False,
+        stored_at: float = 0.0,
+        last_checked: float = 0.0,
+    ):
+        self.certificate = certificate
+        self.diverted = diverted
+        #: Nodes holding a diversion pointer to this replica (for diverted
+        #: replicas: the diverting primary A and the backup C).  These pairs
+        #: exchange explicit keep-alives when leaf sets drift apart (§3.5).
+        self.referrers: Set[int] = referrers if referrers is not None else set()
+        #: The on-disk bytes no longer match the certificate (torn write or
+        #: bit rot).  Maintained by :meth:`LocalStore.verify_replica`; the
+        #: invariant audit reads this flag instead of re-consulting the
+        #: fault plan so auditing stays free of RNG draws.
+        self.corrupted = corrupted
+        #: Virtual times bracketing the bit-rot exposure window: rot accrues
+        #: over ``now - max(stored_at, last_checked)``.
+        self.stored_at = stored_at
+        self.last_checked = last_checked
 
     @property
     def file_id(self) -> int:
@@ -83,15 +101,22 @@ class StoredReplica:
         return self.certificate.content_hash
 
 
-@dataclass
 class DiversionPointer:
     """A file-table entry referencing a replica diverted to another node."""
 
-    certificate: FileCertificate
-    target_id: int
-    #: True for the diverting primary node A (the pointer that serves
-    #: lookups); False for the backup pointer on node C.
-    primary: bool = True
+    __slots__ = ("certificate", "target_id", "primary")
+
+    def __init__(
+        self,
+        certificate: FileCertificate,
+        target_id: int,
+        primary: bool = True,
+    ):
+        self.certificate = certificate
+        self.target_id = target_id
+        #: True for the diverting primary node A (the pointer that serves
+        #: lookups); False for the backup pointer on node C.
+        self.primary = primary
 
     @property
     def file_id(self) -> int:
@@ -109,6 +134,11 @@ class LocalStore:
     usage changes, letting the network maintain global utilization
     counters in O(1).
     """
+
+    __slots__ = (
+        "capacity", "used", "_accounting", "node_id", "fault_plan", "now",
+        "_cache_checked", "primaries", "diverted_in", "pointers", "cache",
+    )
 
     def __init__(
         self,

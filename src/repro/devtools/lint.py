@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -63,8 +64,11 @@ def load_baseline(path: str) -> set:
 def changed_files(paths: Sequence[str]) -> List[str]:
     """Python files under ``paths`` that differ from git HEAD.
 
-    Includes modified, added and untracked files; deleted files drop out
-    because they no longer exist on disk.
+    Includes modified, added, renamed (new name) and untracked files.
+    Deleted files and the old half of a rename are skipped explicitly —
+    they are part of the diff but have nothing on disk to lint — and
+    every git-reported name is anchored at the repository root, so the
+    command works from a subdirectory too.
     """
     roots = [Path(p).resolve() for p in paths]
 
@@ -78,18 +82,37 @@ def changed_files(paths: Sequence[str]) -> List[str]:
             )
         return [line for line in proc.stdout.splitlines() if line]
 
-    candidates = set(run_git("diff", "--name-only", "HEAD", "--"))
-    candidates.update(run_git("ls-files", "--others", "--exclude-standard"))
+    repo_root = Path(run_git("rev-parse", "--show-toplevel")[0])
+    in_root = ("-C", str(repo_root))
+
+    candidates = set()
+    # --name-status over --name-only: a deleted file (D) or the old half
+    # of a rename (R old new) must be dropped by *status*, not by racing
+    # the filesystem — a stale name that happens to exist relative to
+    # the current directory would otherwise be linted by accident.
+    for line in run_git(*in_root, "diff", "--name-status", "-M", "HEAD", "--"):
+        fields = line.split("\t")
+        status = fields[0]
+        if status.startswith("D") or len(fields) < 2:
+            continue
+        # For renames/copies (R###/C###) the last field is the new name.
+        candidates.add(fields[-1])
+    # -C keeps untracked discovery repo-wide and repo-root-relative even
+    # when the linter runs from a subdirectory.
+    candidates.update(run_git(*in_root, "ls-files", "--others", "--exclude-standard"))
     out = []
     for name in sorted(candidates):
-        path = Path(name)
-        if path.suffix != ".py" or not path.exists():
+        path = repo_root / name
+        if path.suffix != ".py" or not path.is_file():
             continue
         resolved = path.resolve()
         if any(
             root == resolved or root in resolved.parents for root in roots
         ):
-            out.append(str(path))
+            # Report paths relative to the caller's cwd (matching the
+            # paths a user would pass on the command line), falling back
+            # to the absolute path when cwd is outside the repo.
+            out.append(os.path.relpath(resolved))
     return out
 
 

@@ -1,0 +1,45 @@
+"""Static cost analysis + profile-ranked performance linting.
+
+``repro.devtools.perf`` is the performance counterpart of the flow
+analysis: where :mod:`repro.devtools.flow` asks "is this code a pure
+function of the seed?", this package asks "how much does it cost per
+event, and how often does it actually run?".
+
+Three cooperating pieces:
+
+* :mod:`.costmodel` — a static cost analyzer over the existing
+  :class:`~repro.devtools.flow.callgraph.ProjectIndex`: per function it
+  measures loop-nesting depth and finds the classic Python hot-path
+  sins (``sorted()``/container rebuilds inside loops, O(n) membership
+  tests on lists/tuples inside loops, loop-invariant allocations and
+  digest/seed recomputations, instance-heavy record classes missing
+  ``__slots__``).
+* :mod:`.profile` + :mod:`.scenarios` — a deterministic pinned-seed
+  profiling harness that counts *real* call frequencies during the
+  canonical scenarios (bulk insert, lookup storm, churn round, scrub
+  round), so static findings can be ranked by
+  ``static badness x measured hotness`` instead of reported flat.
+* :mod:`.rules` — the findings packaged as four lint rules
+  (``perf-hot-sort``, ``perf-quadratic-membership``,
+  ``perf-alloc-in-loop``, ``perf-slots``) that plug into the
+  ``repro.devtools`` framework (suppressions, baselines, ``--changed``).
+
+The :mod:`.bench` harness re-runs the same scenarios without profiler
+overhead and emits ``BENCH_<scenario>.json`` trajectory files.
+"""
+
+from .costmodel import CostAnalyzer, CostFinding
+from .profile import CallCountProfile, profile_scenarios
+from .rules import PERF_RULE_NAMES, perf_rules
+from .report import RankedFinding, rank_findings
+
+__all__ = [
+    "CallCountProfile",
+    "CostAnalyzer",
+    "CostFinding",
+    "PERF_RULE_NAMES",
+    "RankedFinding",
+    "perf_rules",
+    "profile_scenarios",
+    "rank_findings",
+]

@@ -1,0 +1,100 @@
+"""Benchmark harness: the ``BENCH_<scenario>.json`` trajectory files.
+
+Each file records one canonical scenario at a pinned seed, split into
+two sections:
+
+* a **deterministic** section (ops, events, outcome checksum) that is a
+  pure function of ``(nodes, seed)`` — CI diffs it byte-for-byte across
+  ``PYTHONHASHSEED`` values;
+* a **timing** section (wall time, ops/sec, events/sec, peak RSS) that
+  varies by machine and is what the PR-over-PR trajectory tracks.
+
+``--deterministic`` omits the timing section entirely so the artifact
+itself is diffable; the committed files keep timings as the recorded
+trajectory point for the machine that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+from .scenarios import DEFAULT_NODES, PINNED_SEED, SCENARIOS, ScenarioResult
+
+BENCH_VERSION = 1
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size in KiB (ru_maxrss is KiB on Linux)."""
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    if sys.platform == "darwin":
+        return usage.ru_maxrss // 1024
+    return usage.ru_maxrss
+
+
+def run_bench(
+    scenario: str,
+    nodes: int = DEFAULT_NODES,
+    seed: int = PINNED_SEED,
+    deterministic: bool = False,
+) -> dict:
+    """Run one scenario without profiler overhead; return the record."""
+    runner = SCENARIOS[scenario]
+    start = time.perf_counter()
+    result: ScenarioResult = runner(nodes, seed)
+    wall_s = time.perf_counter() - start
+    record = {
+        "version": BENCH_VERSION,
+        "scenario": result.name,
+        "nodes": result.nodes,
+        "seed": result.seed,
+        "ops": result.ops,
+        "op_kind": result.op_kind,
+        "events": result.events,
+        "checksum": result.checksum,
+    }
+    if not deterministic:
+        record["timing"] = {
+            "wall_s": round(wall_s, 4),
+            "ops_per_sec": round(result.ops / wall_s, 2) if wall_s > 0 else 0.0,
+            "events_per_sec": (
+                round(result.events / wall_s, 2) if wall_s > 0 else 0.0
+            ),
+            "peak_rss_kb": _peak_rss_kb(),
+            "python": platform.python_version(),
+        }
+    return record
+
+
+def bench_path(out_dir: Path, scenario: str) -> Path:
+    return out_dir / f"BENCH_{scenario}.json"
+
+
+def write_bench_files(
+    out_dir: Path,
+    scenarios: Optional[Sequence[str]] = None,
+    nodes: int = DEFAULT_NODES,
+    seed: int = PINNED_SEED,
+    deterministic: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Path]:
+    """Run the scenarios and write one ``BENCH_<scenario>.json`` each."""
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown scenario(s): {', '.join(unknown)}")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for name in names:
+        if progress is not None:
+            progress(f"benchmarking {name} (nodes={nodes}, seed={seed})")
+        record = run_bench(name, nodes=nodes, seed=seed, deterministic=deterministic)
+        path = bench_path(out_dir, name)
+        path.write_text(json.dumps(record, sort_keys=True, indent=2) + "\n")
+        written.append(path)
+    return written

@@ -1,0 +1,257 @@
+"""``repro-perf`` / ``python -m repro.devtools.perf`` — the perf front door.
+
+Three modes:
+
+* **analyze** (default) — run the static cost analyzer over the given
+  paths, weight each finding by the committed call-count profile (when
+  present) and print the ranked report.  ``--baseline`` /
+  ``--write-baseline`` / ``--changed`` work exactly as in
+  ``repro-lint``; CI runs this against the committed perf baseline and
+  fails on any *new* finding.
+* ``--profile`` — run the canonical pinned-seed scenarios under the
+  call-count profiler and write ``perf_profile.json`` (deterministic:
+  identical across ``PYTHONHASHSEED`` values).
+* ``--bench`` — run the same scenarios un-profiled and write the
+  ``BENCH_<scenario>.json`` trajectory files (``--deterministic`` omits
+  the timing section for CI diffing).
+
+Exit status follows ``repro-lint``: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..framework import LintError, collect_modules, run_rules
+from ..lint import changed_files, finding_key, load_baseline, write_baseline
+from .bench import write_bench_files
+from .costmodel import CostFinding
+from .profile import CallCountProfile, profile_scenarios
+from .report import rank_findings
+from .rules import get_cost_analysis, perf_rules
+from .scenarios import DEFAULT_NODES, PINNED_SEED, SCENARIOS
+
+#: Committed artifacts, relative to the repo root.
+DEFAULT_PROFILE = Path("benchmarks") / "results" / "perf_profile.json"
+DEFAULT_BENCH_DIR = Path("benchmarks") / "results"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-perf",
+        description=(
+            "Static cost analysis ranked by profiled hotness, plus the "
+            "pinned-seed profile/bench harness."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--profile-file", metavar="FILE", default=None,
+        help=(
+            "call-count profile to weight findings with (default: "
+            f"{DEFAULT_PROFILE} when it exists; unweighted otherwise)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="suppress findings recorded in FILE; report only new ones",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="record the current findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="analyze only files changed vs. git HEAD under the given paths",
+    )
+    parser.add_argument(
+        "--top", type=int, metavar="N", default=0,
+        help="print only the N highest-scored findings (default: all)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the pinned-seed scenarios under the call-count profiler",
+    )
+    parser.add_argument(
+        "--bench", action="store_true",
+        help="run the scenarios un-profiled and write BENCH_<scenario>.json",
+    )
+    parser.add_argument(
+        "--scenarios", metavar="NAMES",
+        help=(
+            "comma-separated scenario subset for --profile/--bench "
+            f"(default: all of {','.join(SCENARIOS)})"
+        ),
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=DEFAULT_NODES, metavar="N",
+        help=f"deployment size for --profile/--bench (default: {DEFAULT_NODES})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=PINNED_SEED, metavar="SEED",
+        help=f"scenario seed for --profile/--bench (default: {PINNED_SEED})",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help=(
+            "output file for --profile (default: "
+            f"{DEFAULT_PROFILE}) or directory for --bench "
+            f"(default: {DEFAULT_BENCH_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--deterministic", action="store_true",
+        help="--bench: omit the timing section so the JSON is CI-diffable",
+    )
+    return parser
+
+
+def _progress(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+def _scenario_names(args: argparse.Namespace) -> Optional[List[str]]:
+    if not args.scenarios:
+        return None
+    return [name.strip() for name in args.scenarios.split(",") if name.strip()]
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    out = Path(args.out) if args.out else DEFAULT_PROFILE
+    profile = profile_scenarios(
+        nodes=args.nodes,
+        seed=args.seed,
+        scenario_names=_scenario_names(args),
+        progress=_progress,
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(profile.to_json())
+    total_calls = sum(profile.counts.values())
+    print(
+        f"profile written to {out}: {len(profile.counts)} functions, "
+        f"{total_calls} calls across {len(profile.scenarios)} scenarios"
+    )
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out) if args.out else DEFAULT_BENCH_DIR
+    written = write_bench_files(
+        out_dir,
+        scenarios=_scenario_names(args),
+        nodes=args.nodes,
+        seed=args.seed,
+        deterministic=args.deterministic,
+        progress=_progress,
+    )
+    for path in written:
+        record = json.loads(path.read_text())
+        timing = record.get("timing", {})
+        rate = timing.get("ops_per_sec")
+        suffix = f" ({rate} {record['op_kind']}/s)" if rate is not None else ""
+        print(f"{path}: {record['ops']} {record['op_kind']}{suffix}")
+    return 0
+
+
+def _load_profile(args: argparse.Namespace) -> Optional[CallCountProfile]:
+    if args.profile_file:
+        return CallCountProfile.load(Path(args.profile_file))
+    if DEFAULT_PROFILE.is_file():
+        return CallCountProfile.load(DEFAULT_PROFILE)
+    return None
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    paths: List[str] = args.paths
+    if args.changed:
+        paths = changed_files(paths)
+        if not paths:
+            print("no changed python files to analyze")
+            return 0
+    modules = collect_modules(paths)
+    # run_rules applies `# lint: ignore[...]` suppressions and gives the
+    # findings the same identity the lint baseline machinery expects.
+    findings = run_rules(modules, perf_rules())
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"baseline written: {len(findings)} {noun} recorded "
+              f"in {args.write_baseline}")
+        return 0
+    if args.baseline:
+        known = load_baseline(args.baseline)
+        findings = [f for f in findings if finding_key(f) not in known]
+
+    # Re-derive cost metadata (badness, qualname) for the surviving
+    # findings so they can be ranked: the analyzer's own findings carry
+    # it, the framework Findings do not.
+    analyzer = get_cost_analysis(modules)
+    by_identity = {
+        (f"perf-{c.kind}", c.path, c.line, c.message): c
+        for c in analyzer.findings
+    }
+    cost_findings: List[CostFinding] = []
+    for finding in findings:
+        cost = by_identity.get(
+            (finding.rule, finding.path, finding.line, finding.message)
+        )
+        if cost is not None:
+            cost_findings.append(cost)
+    try:
+        profile = _load_profile(args)
+    except (OSError, ValueError) as exc:
+        raise LintError(f"cannot read profile: {exc}") from None
+    ranked = rank_findings(cost_findings, profile)
+    if args.top > 0:
+        ranked = ranked[: args.top]
+
+    if args.format == "json":
+        payload = {
+            "profile": (
+                {"nodes": profile.nodes, "seed": profile.seed}
+                if profile else None
+            ),
+            "findings": [r.to_dict() for r in ranked],
+            "count": len(ranked),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for entry in ranked:
+            print(entry.render())
+        noun = "finding" if len(ranked) == 1 else "findings"
+        weight = "profile-weighted" if profile else "unweighted (no profile)"
+        print(f"{len(ranked)} {noun} in {len(modules)} modules [{weight}]")
+    return 1 if ranked else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.profile and args.bench:
+            raise LintError("--profile and --bench are mutually exclusive")
+        if args.profile:
+            return _run_profile(args)
+        if args.bench:
+            return _run_bench(args)
+        return _run_analyze(args)
+    except LintError as exc:
+        print(f"perf: error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"perf: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

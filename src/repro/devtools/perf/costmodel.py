@@ -1,0 +1,700 @@
+"""The static cost analyzer: per-function cost facts over the call graph.
+
+Reuses the flow package's :class:`~repro.devtools.flow.callgraph.ProjectIndex`
+for function collection, alias resolution and call-site resolution, and
+adds the *cost* dimension the flow analysis deliberately ignores:
+
+* **loop nesting** — every ``for``/``while`` with its depth and the set
+  of names bound by the enclosing loops (loop targets plus any name
+  assigned inside the loop body), which is what loop-invariance checks
+  compare against;
+* **hot sorts** — ``sorted(...)`` calls and ``.sort()`` method calls
+  evaluated once per iteration of an enclosing loop.  Re-sorting inside
+  a loop is the signature quadratic-ish pattern the determinism work of
+  PR 2 introduced wholesale ("wrap it in sorted()"), and the one the
+  ROADMAP explicitly schedules for replacement with maintained ordered
+  structures;
+* **quadratic membership** — ``x in xs`` / ``x not in xs`` inside a loop
+  where ``xs`` is locally bound only to list/tuple values: an O(n) scan
+  per iteration, O(n*m) overall, for what a set answers in O(1);
+* **loop-invariant allocations and recomputations** — container
+  constructions (``set(...)``, ``list(...)``, comprehensions) and
+  expensive calls (``derive_seed``, ``hashlib.*``, ``file_id``) inside a
+  loop that reference no name bound by the loop, i.e. they rebuild the
+  same value every iteration and can be hoisted;
+* **slot-less record classes** — classes instantiated inside a loop
+  (directly, or transitively through the call graph) that do not declare
+  ``__slots__``: each instance then carries a per-instance ``__dict__``,
+  which at 10k-node scale is the difference between fitting in cache and
+  not.
+
+Every check is *syntactic* evidence, scored by loop depth; the profile
+harness supplies the measured-hotness factor that turns evidence into a
+ranking (see :mod:`.report`).  Messages are line-number-free so baseline
+keys survive unrelated edits, matching the lint framework's convention.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..framework import ModuleInfo
+from ..flow.callgraph import FunctionInfo, ProjectIndex, project_aliases
+
+#: Subpackages whose code runs per simulated event — the layers whose
+#: constant factors bound how many nodes/ops a run can afford.  Matches
+#: the flow rules' scope: experiments/CLI code runs once per report, not
+#: once per event.
+PERF_SUBPACKAGES = frozenset({"pastry", "netsim", "core"})
+
+#: Nodes that repeat their body: statement loops and comprehensions
+#: (a comprehension constructs its element expression per iteration,
+#: which matters for per-instance costs like missing ``__slots__``).
+_LOOP_NODES = (
+    ast.For, ast.While, ast.ListComp, ast.SetComp, ast.DictComp,
+    ast.GeneratorExp,
+)
+
+#: Builtin constructors whose call allocates a fresh container.
+_ALLOC_CTORS = frozenset({
+    "set", "frozenset", "list", "dict", "tuple", "sorted", "reversed",
+})
+
+#: Expensive pure computations worth hoisting when loop-invariant.
+#: Matched by dotted name (externals) or bare-name suffix (project
+#: helpers like ``repro.core.seeding.derive_seed``).
+_EXPENSIVE_EXTERNAL = frozenset({
+    "hashlib.sha1", "hashlib.sha256", "hashlib.md5", "hashlib.new",
+})
+_EXPENSIVE_SUFFIXES = ("derive_seed", "file_id", "node_id_from_public_key")
+
+#: Decorators under which a class body's bare ``x: T = default`` lines
+#: become instance fields (so missing ``__slots__`` means a dict per
+#: instance even though no ``__init__`` is visible).
+_DATACLASS_DECORATORS = frozenset({"dataclass", "dataclasses.dataclass"})
+
+KIND_HOT_SORT = "hot-sort"
+KIND_QUADRATIC = "quadratic-membership"
+KIND_ALLOC = "alloc-in-loop"
+KIND_SLOTS = "slots"
+
+
+@dataclass(frozen=True)
+class CostFinding:
+    """One cost-model observation, scored by static badness."""
+
+    kind: str
+    path: str
+    line: int
+    #: Dotted qualname of the enclosing function (or the class, for
+    #: ``slots`` findings) — the unit the profile counts calls for.
+    qualname: str
+    #: Static severity: loop depth for in-loop findings, construction
+    #: context for slots findings.  >= 1.
+    badness: int
+    message: str
+    #: Function whose profiled call count weights this finding when it
+    #: differs from ``qualname`` (slots findings name a *class* there;
+    #: dataclass-generated ``__init__`` code objects carry a synthetic
+    #: filename the profiler cannot map back, so the constructing
+    #: function stands in as the hotness proxy).
+    hotness_qualname: str = ""
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.kind)
+
+
+@dataclass
+class FunctionCost:
+    """Aggregate cost facts for one function."""
+
+    qualname: str
+    path: str
+    line: int
+    max_loop_depth: int = 0
+    findings: List[CostFinding] = field(default_factory=list)
+
+    @property
+    def static_badness(self) -> int:
+        return sum(f.badness for f in self.findings)
+
+
+@dataclass
+class ClassRecord:
+    """One class definition, as the slots check sees it."""
+
+    qualname: str  # module.ClassName
+    name: str
+    module: ModuleInfo
+    lineno: int
+    has_slots: bool
+    is_dataclass: bool
+    #: True when every base is resolvable and slot-friendly (no bases,
+    #: or ``object``).  Subclasses of unknown bases are skipped: adding
+    #: __slots__ there does not remove the inherited __dict__.
+    slot_eligible: bool
+    #: Number of per-instance fields observed (self.x = / dataclass
+    #: fields); instanceless namespaces are not worth flagging.
+    n_fields: int = 0
+
+
+class _Loop:
+    """One enclosing loop while walking a function body."""
+
+    __slots__ = ("node", "depth", "bound_names")
+
+    def __init__(self, node: ast.AST, depth: int, bound_names: Set[str]):
+        self.node = node
+        self.depth = depth
+        self.bound_names = bound_names
+
+
+def _target_names(target: ast.expr) -> Set[str]:
+    """Names bound by a ``for`` target (handles tuple unpacking)."""
+    out: Set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            out.add(node.id)
+    return out
+
+
+def _assigned_names(stmts: Sequence[ast.stmt]) -> Set[str]:
+    """Every name assigned anywhere in a statement list (incl. nested
+    loops/ifs, excluding nested function/class bodies)."""
+    nested = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+    out: Set[str] = set()
+    stack: List[ast.AST] = [s for s in stmts if not isinstance(s, nested)]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                out.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            out.update(_target_names(node.target))
+        elif isinstance(node, ast.For):
+            out.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    out.update(_target_names(item.optional_vars))
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, nested):
+                stack.append(child)
+    return out
+
+
+def _free_names(expr: ast.expr) -> Set[str]:
+    """Every Name read by an expression (comprehension targets excluded)."""
+    bound: Set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.comprehension):
+            bound.update(_target_names(node.target))
+    return {
+        node.id
+        for node in ast.walk(expr)
+        if isinstance(node, ast.Name) and node.id not in bound
+    }
+
+
+def _local_container_kinds(func: FunctionInfo) -> Dict[str, Set[str]]:
+    """Map each local name to the container kinds it is ever bound to.
+
+    Kinds: ``"list"``, ``"tuple"``, ``"set"``, ``"dict"``, ``"other"``.
+    Flow-insensitive: a name rebound from list to set carries both kinds
+    and is never flagged (the safe direction for a lint).
+    """
+    kinds: Dict[str, Set[str]] = {}
+
+    def classify(expr: Optional[ast.expr]) -> str:
+        if expr is None:
+            return "other"
+        if isinstance(expr, (ast.List, ast.ListComp)):
+            return "list"
+        if isinstance(expr, ast.Tuple):
+            return "tuple"
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return "set"
+        if isinstance(expr, (ast.Dict, ast.DictComp)):
+            return "dict"
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            if expr.func.id in ("list", "sorted"):
+                return "list"
+            if expr.func.id == "tuple":
+                return "tuple"
+            if expr.func.id in ("set", "frozenset"):
+                return "set"
+            if expr.func.id == "dict":
+                return "dict"
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+            left = classify(expr.left)
+            if left == classify(expr.right):
+                return left
+        return "other"
+
+    nested = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+    if isinstance(func.node, ast.Module):
+        roots: List[ast.AST] = list(func.node.body)
+    else:
+        roots = list(func.node.body)
+    stack = [n for n in roots if not isinstance(n, nested)]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Assign):
+            kind = classify(node.value)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    kinds.setdefault(target.id, set()).add(kind)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            kinds.setdefault(node.target.id, set()).add(classify(node.value))
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            kinds.setdefault(node.target.id, set()).add("other")
+        elif isinstance(node, ast.For):
+            # Loop targets iterate element values, not containers we track.
+            for name in _target_names(node.target):
+                kinds.setdefault(name, set()).add("other")
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, nested):
+                stack.append(child)
+    return kinds
+
+
+class CostAnalyzer:
+    """Static cost model over one module set."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules = list(modules)
+        self.index = ProjectIndex(self.modules)
+        self.classes: Dict[str, ClassRecord] = {}
+        self.class_by_name: Dict[str, List[str]] = {}
+        #: function qualname -> class qualnames it directly constructs.
+        self._constructs: Dict[str, Set[str]] = {}
+        #: function qualname -> resolved project callees.
+        self._callees: Dict[str, Set[str]] = {}
+        self.function_costs: Dict[str, FunctionCost] = {}
+        self.findings: List[CostFinding] = []
+
+        self._collect_classes()
+        for qual, info in self.index.functions.items():
+            if not self._in_scope(info.module):
+                continue
+            self._analyze_function(info)
+        self._slots_findings()
+        self.findings.sort(key=CostFinding.sort_key)
+
+    @staticmethod
+    def _in_scope(module: ModuleInfo) -> bool:
+        return module.subpackage in PERF_SUBPACKAGES
+
+    # ------------------------------------------------------------- classes
+
+    def _collect_classes(self) -> None:
+        for module in self.modules:
+            for node in module.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                record = self._class_record(module, node)
+                self.classes[record.qualname] = record
+                self.class_by_name.setdefault(record.name, []).append(
+                    record.qualname
+                )
+
+    def _class_record(self, module: ModuleInfo, node: ast.ClassDef) -> ClassRecord:
+        has_slots = any(
+            isinstance(stmt, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in stmt.targets
+            )
+            or (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            )
+            for stmt in node.body
+        )
+        is_dataclass = False
+        for deco in node.decorator_list:
+            name = None
+            if isinstance(deco, ast.Call):
+                deco = deco.func
+            if isinstance(deco, ast.Name):
+                name = deco.id
+            elif isinstance(deco, ast.Attribute):
+                name = f"{getattr(deco.value, 'id', '?')}.{deco.attr}"
+            if name in _DATACLASS_DECORATORS:
+                is_dataclass = True
+            if name == "dataclass" or (name or "").endswith(".dataclass"):
+                is_dataclass = True
+        slot_eligible = all(
+            isinstance(base, ast.Name) and base.id == "object"
+            for base in node.bases
+        )
+        n_fields = 0
+        if is_dataclass:
+            n_fields = sum(
+                1 for stmt in node.body if isinstance(stmt, ast.AnnAssign)
+            )
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+                seen: Set[str] = set()
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, (ast.Assign, ast.AnnAssign))
+                        and not isinstance(sub, ast.AugAssign)
+                    ):
+                        targets = (
+                            sub.targets
+                            if isinstance(sub, ast.Assign)
+                            else [sub.target]
+                        )
+                        for target in targets:
+                            if (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"
+                            ):
+                                seen.add(target.attr)
+                n_fields = max(n_fields, len(seen))
+        return ClassRecord(
+            qualname=f"{module.name}.{node.name}",
+            name=node.name,
+            module=module,
+            lineno=node.lineno,
+            has_slots=has_slots,
+            is_dataclass=is_dataclass,
+            slot_eligible=slot_eligible,
+            n_fields=n_fields,
+        )
+
+    def _resolve_class_call(
+        self, call: ast.Call, func: FunctionInfo
+    ) -> Optional[str]:
+        """The project class a ``Name(...)`` call constructs, if any."""
+        fn = call.func
+        if not isinstance(fn, ast.Name):
+            return None
+        local = f"{func.module.name}.{fn.id}"
+        if local in self.classes:
+            return local
+        aliases = self.index.aliases.get(func.module.name, {})
+        origin = aliases.get(fn.id)
+        if origin is not None and origin in self.classes:
+            return origin
+        return None
+
+    # ----------------------------------------------------------- functions
+
+    def _analyze_function(self, func: FunctionInfo) -> None:
+        cost = FunctionCost(
+            qualname=func.qualname, path=func.module.path, line=func.lineno
+        )
+        container_kinds = _local_container_kinds(func)
+        constructs: Set[str] = set()
+        callees: Set[str] = set()
+
+        nested = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+        def visit(node: ast.AST, loops: List[_Loop]) -> None:
+            if isinstance(node, nested):
+                return
+            if isinstance(node, (ast.For, ast.While)):
+                depth = len(loops) + 1
+                cost.max_loop_depth = max(cost.max_loop_depth, depth)
+                bound: Set[str] = set()
+                if isinstance(node, ast.For):
+                    # The iterable is evaluated once, *outside* the new loop.
+                    visit_expr(node.iter, loops)
+                    bound |= _target_names(node.target)
+                else:
+                    visit_expr(node.test, loops)
+                bound |= _assigned_names(node.body + node.orelse)
+                inner = loops + [_Loop(node, depth, bound)]
+                for stmt in node.body + node.orelse:
+                    visit(stmt, inner)
+                return
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    visit_expr(child, loops)
+                elif not isinstance(child, nested):
+                    visit(child, loops)
+
+        def visit_expr(expr: ast.AST, loops: List[_Loop]) -> None:
+            for node in ast.walk(expr):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                    continue
+                if isinstance(node, ast.Call):
+                    self._check_call(node, func, loops, cost, constructs, callees)
+                elif isinstance(node, ast.Compare) and loops:
+                    self._check_membership(
+                        node, func, loops, cost, container_kinds
+                    )
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp)) and loops:
+                    self._check_invariant_alloc(
+                        node, "a comprehension", func, loops, cost
+                    )
+
+        if isinstance(func.node, ast.Module):
+            body: List[ast.stmt] = [
+                s for s in func.node.body if not isinstance(s, nested)
+            ]
+        else:
+            body = list(func.node.body)
+        for stmt in body:
+            visit(stmt, [])
+
+        self._constructs[func.qualname] = constructs
+        self._callees[func.qualname] = callees
+        if cost.findings or cost.max_loop_depth:
+            self.function_costs[func.qualname] = cost
+        self.findings.extend(cost.findings)
+
+    # ---------------------------------------------------------- call checks
+
+    def _check_call(
+        self,
+        call: ast.Call,
+        func: FunctionInfo,
+        loops: List[_Loop],
+        cost: FunctionCost,
+        constructs: Set[str],
+        callees: Set[str],
+    ) -> None:
+        cls = self._resolve_class_call(call, func)
+        if cls is not None:
+            constructs.add(cls)
+        targets, external = self.index.resolve_call(call, func)
+        callees.update(targets)
+        if not loops:
+            return
+        depth = loops[-1].depth
+        fn = call.func
+        # -- hot sorts -----------------------------------------------------
+        if isinstance(fn, ast.Name) and fn.id == "sorted":
+            cost.findings.append(CostFinding(
+                kind=KIND_HOT_SORT,
+                path=func.module.path,
+                line=call.lineno,
+                qualname=func.qualname,
+                badness=depth,
+                message=(
+                    f"sorted() runs on every iteration of a depth-{depth} "
+                    f"loop in {func.qualname}; maintain an ordered structure "
+                    f"(or hoist the sort) instead of re-sorting"
+                ),
+            ))
+            return
+        if isinstance(fn, ast.Attribute) and fn.attr == "sort" and not call.args:
+            cost.findings.append(CostFinding(
+                kind=KIND_HOT_SORT,
+                path=func.module.path,
+                line=call.lineno,
+                qualname=func.qualname,
+                badness=depth,
+                message=(
+                    f".sort() runs on every iteration of a depth-{depth} "
+                    f"loop in {func.qualname}; maintain an ordered structure "
+                    f"(or hoist the sort) instead of re-sorting"
+                ),
+            ))
+            return
+        # -- loop-invariant allocations / recomputations -------------------
+        if isinstance(fn, ast.Name):
+            if fn.id in _ALLOC_CTORS and call.args:
+                self._check_invariant_alloc(
+                    call, f"{fn.id}(...)", func, loops, cost
+                )
+                return
+        dotted = external
+        if dotted is None and targets:
+            dotted = targets[0]
+        if dotted is not None and (
+            dotted in _EXPENSIVE_EXTERNAL
+            or dotted.rsplit(".", 1)[-1] in _EXPENSIVE_SUFFIXES
+        ):
+            short = dotted.rsplit(".", 1)[-1]
+            self._check_invariant_alloc(
+                call, f"{short}(...)", func, loops, cost,
+                verb="recomputes",
+            )
+
+    def _check_invariant_alloc(
+        self,
+        expr: ast.expr,
+        what: str,
+        func: FunctionInfo,
+        loops: List[_Loop],
+        cost: FunctionCost,
+        verb: str = "rebuilds",
+    ) -> None:
+        names = _free_names(expr)
+        for loop in loops:
+            if names & loop.bound_names:
+                return  # depends on loop state: genuinely per-iteration
+        depth = loops[-1].depth
+        cost.findings.append(CostFinding(
+            kind=KIND_ALLOC,
+            path=func.module.path,
+            line=expr.lineno,
+            qualname=func.qualname,
+            badness=depth,
+            message=(
+                f"{func.qualname} {verb} {what} on every iteration of a "
+                f"depth-{depth} loop but references no loop-bound name; "
+                f"hoist it out of the loop"
+            ),
+        ))
+
+    def _check_membership(
+        self,
+        node: ast.Compare,
+        func: FunctionInfo,
+        loops: List[_Loop],
+        cost: FunctionCost,
+        container_kinds: Dict[str, Set[str]],
+    ) -> None:
+        for op, comparator in zip(node.ops, node.comparators):
+            if not isinstance(op, (ast.In, ast.NotIn)):
+                continue
+            if not isinstance(comparator, ast.Name):
+                continue
+            kinds = container_kinds.get(comparator.id)
+            if kinds is None or kinds - {"list", "tuple"}:
+                continue  # unknown or possibly-set-typed: not provably O(n)
+            depth = loops[-1].depth
+            cost.findings.append(CostFinding(
+                kind=KIND_QUADRATIC,
+                path=func.module.path,
+                line=node.lineno,
+                qualname=func.qualname,
+                badness=depth + 1,
+                message=(
+                    f"membership test on {'/'.join(sorted(kinds))} "
+                    f"'{comparator.id}' inside a depth-{depth} loop in "
+                    f"{func.qualname} is an O(n) scan per iteration; use a "
+                    f"set"
+                ),
+            ))
+
+    # ---------------------------------------------------------------- slots
+
+    def _loop_reachable_functions(self) -> Tuple[Set[str], Set[str]]:
+        """(functions called directly from a loop body, their transitive
+        closure over project call edges)."""
+        direct: Set[str] = set()
+        for qual, info in self.index.functions.items():
+            if not self._in_scope(info.module):
+                continue
+            nested = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                      ast.Lambda)
+            if isinstance(info.node, ast.Module):
+                roots: List[ast.AST] = [
+                    s for s in info.node.body if not isinstance(s, nested)
+                ]
+            else:
+                roots = list(info.node.body)
+
+            def scan(node: ast.AST, in_loop: bool) -> None:
+                if isinstance(node, nested):
+                    return
+                here = in_loop or isinstance(node, _LOOP_NODES)
+                if isinstance(node, ast.Call) and in_loop:
+                    targets, _ = self.index.resolve_call(node, info)
+                    direct.update(targets)
+                for child in ast.iter_child_nodes(node):
+                    scan(child, here)
+
+            for root in roots:
+                scan(root, False)
+        closure = set(direct)
+        frontier = list(direct)
+        while frontier:
+            current = frontier.pop()
+            for callee in self._callees.get(current, ()):
+                if callee not in closure:
+                    closure.add(callee)
+                    frontier.append(callee)
+        return direct, closure
+
+    def _slots_findings(self) -> None:
+        loop_direct, loop_closure = self._loop_reachable_functions()
+        #: class -> (badness, how it was reached, constructing function)
+        heavy: Dict[str, Tuple[int, str, str]] = {}
+        for qual, info in self.index.functions.items():
+            if not self._in_scope(info.module):
+                continue
+            constructed = self._constructs.get(qual, ())
+            if not constructed:
+                continue
+            in_loop_body = qual in loop_closure
+            # Direct construction sites inside this function's own loops
+            # are found by re-walking with loop context.
+            direct_in_loop = self._classes_constructed_in_own_loops(info)
+            for cls in constructed:
+                if cls in direct_in_loop:
+                    prev = heavy.get(cls, (0, "", ""))
+                    if prev[0] < 2:
+                        heavy[cls] = (2, f"constructed in a loop in {qual}", qual)
+                elif in_loop_body:
+                    heavy.setdefault(
+                        cls, (1, f"constructed under a loop via {qual}", qual)
+                    )
+        for cls_qual in sorted(heavy):
+            record = self.classes.get(cls_qual)
+            if record is None or record.has_slots or not record.slot_eligible:
+                continue
+            if not self._in_scope(record.module) or record.n_fields == 0:
+                continue
+            badness, how, via_qual = heavy[cls_qual]
+            kind_note = "dataclass" if record.is_dataclass else "class"
+            self.findings.append(CostFinding(
+                kind=KIND_SLOTS,
+                path=record.module.path,
+                line=record.lineno,
+                qualname=cls_qual,
+                badness=badness,
+                message=(
+                    f"instance-heavy {kind_note} {record.name} "
+                    f"({record.n_fields} fields, {how}) has no __slots__; "
+                    f"each instance pays a __dict__"
+                ),
+                hotness_qualname=via_qual,
+            ))
+
+    def _classes_constructed_in_own_loops(self, info: FunctionInfo) -> Set[str]:
+        nested = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        out: Set[str] = set()
+        if isinstance(info.node, ast.Module):
+            roots: List[ast.AST] = [
+                s for s in info.node.body if not isinstance(s, nested)
+            ]
+        else:
+            roots = list(info.node.body)
+
+        def scan(node: ast.AST, in_loop: bool) -> None:
+            if isinstance(node, nested):
+                return
+            here = in_loop or isinstance(node, _LOOP_NODES)
+            if isinstance(node, ast.Call) and in_loop:
+                cls = self._resolve_class_call(node, info)
+                if cls is not None:
+                    out.add(cls)
+            for child in ast.iter_child_nodes(node):
+                scan(child, here)
+
+        for root in roots:
+            scan(root, False)
+        return out
+
+
+def iter_findings(
+    modules: Sequence[ModuleInfo], kinds: Optional[Set[str]] = None
+) -> Iterator[CostFinding]:
+    """All cost findings for a module set, optionally filtered by kind."""
+    analyzer = CostAnalyzer(modules)
+    for finding in analyzer.findings:
+        if kinds is None or finding.kind in kinds:
+            yield finding

@@ -1,0 +1,176 @@
+"""Deterministic call-count profiling of the canonical scenarios.
+
+A ``sys.setprofile`` hook counts every Python call and every C call
+(``sorted``, ``set`` …) executed while the pinned-seed scenarios run,
+then maps code objects back to the static index's dotted qualnames.
+Counts — unlike timings — are a pure function of the schedule, so the
+profile JSON is byte-identical across ``PYTHONHASHSEED`` values and
+machine speeds, which is what lets CI pin it and lets the report rank
+``static badness x measured hotness`` reproducibly.
+
+The committed artifact lives at
+``benchmarks/results/perf_profile.json``; ``repro-perf --profile``
+regenerates it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..framework import collect_modules
+from ..flow.callgraph import ProjectIndex
+from .scenarios import DEFAULT_NODES, PINNED_SEED, SCENARIOS, ScenarioResult
+
+#: C-level callables worth counting globally: the containers and sorts
+#: the cost model flags statically.
+_TRACKED_BUILTINS = frozenset({"sorted", "set", "list", "dict", "frozenset"})
+
+#: Schema version for the profile artifact.
+PROFILE_VERSION = 1
+
+
+@dataclass
+class CallCountProfile:
+    """Aggregated call counts for one (nodes, seed, scenarios) run."""
+
+    nodes: int
+    seed: int
+    #: dotted qualname -> times it was called across all scenarios.
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: builtin name -> global call count (evidence, not used for ranking).
+    builtin_counts: Dict[str, int] = field(default_factory=dict)
+    scenarios: List[ScenarioResult] = field(default_factory=list)
+
+    def hotness(self, qualname: str) -> int:
+        """Measured call count for a function (0 when never observed).
+
+        ``perf-slots`` findings carry a *class* qualname; their hotness
+        is the class's ``__init__`` count.
+        """
+        count = self.counts.get(qualname)
+        if count is not None:
+            return count
+        return self.counts.get(f"{qualname}.__init__", 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": PROFILE_VERSION,
+            "nodes": self.nodes,
+            "seed": self.seed,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+            "counts": dict(sorted(self.counts.items())),
+            "builtin_counts": dict(sorted(self.builtin_counts.items())),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CallCountProfile":
+        profile = cls(
+            nodes=int(payload.get("nodes", 0)),
+            seed=int(payload.get("seed", 0)),
+            counts={str(k): int(v) for k, v in payload.get("counts", {}).items()},
+            builtin_counts={
+                str(k): int(v)
+                for k, v in payload.get("builtin_counts", {}).items()
+            },
+        )
+        for entry in payload.get("scenarios", []):
+            profile.scenarios.append(ScenarioResult(**entry))
+        return profile
+
+    @classmethod
+    def load(cls, path: Path) -> "CallCountProfile":
+        return cls.from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+
+def _static_qualname_index(
+    src_paths: Sequence[Path],
+) -> Dict[Tuple[str, str], List[str]]:
+    """(resolved file path, code name) -> dotted qualnames defined there.
+
+    Two classes in one module may share a method name; the count is then
+    attributed to every candidate — an over-approximation in the same
+    safe direction as the call graph's method-name resolution.
+    """
+    modules = collect_modules(list(src_paths))
+    index = ProjectIndex(modules)
+    table: Dict[Tuple[str, str], List[str]] = {}
+    for qual, info in index.functions.items():
+        if info.is_module_body:
+            continue
+        key = (str(Path(info.module.path).resolve()), info.name)
+        table.setdefault(key, []).append(qual)
+    return table
+
+
+class _Profiler:
+    """The ``sys.setprofile`` hook: counts calls, nothing else."""
+
+    def __init__(self) -> None:
+        #: (filename, co_name) -> count; resolved to qualnames at the end.
+        self.raw: Dict[Tuple[str, str], int] = {}
+        self.builtins: Dict[str, int] = {}
+
+    def __call__(self, frame, event: str, arg) -> None:
+        if event == "call":
+            code = frame.f_code
+            key = (code.co_filename, code.co_name)
+            self.raw[key] = self.raw.get(key, 0) + 1
+        elif event == "c_call":
+            name = getattr(arg, "__name__", None)
+            if name in _TRACKED_BUILTINS:
+                self.builtins[name] = self.builtins.get(name, 0) + 1
+
+
+def profile_scenarios(
+    nodes: int = DEFAULT_NODES,
+    seed: int = PINNED_SEED,
+    scenario_names: Optional[Sequence[str]] = None,
+    src_paths: Optional[Sequence[Path]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CallCountProfile:
+    """Run the canonical scenarios under the call-count profiler."""
+    names = list(scenario_names) if scenario_names else list(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown scenario(s): {', '.join(unknown)}")
+    if src_paths is None:
+        src_paths = [Path(__file__).resolve().parents[3] / "repro"]
+    table = _static_qualname_index(src_paths)
+
+    profile = CallCountProfile(nodes=nodes, seed=seed)
+    profiler = _Profiler()
+    for name in names:
+        if progress is not None:
+            progress(f"profiling {name} (nodes={nodes}, seed={seed})")
+        runner = SCENARIOS[name]
+        sys.setprofile(profiler)
+        try:
+            result = runner(nodes, seed)
+        finally:
+            sys.setprofile(None)
+        profile.scenarios.append(result)
+
+    resolved_raw: Dict[Tuple[str, str], int] = {}
+    for (filename, co_name), count in profiler.raw.items():
+        try:
+            resolved = str(Path(filename).resolve())
+        except (OSError, ValueError):
+            continue
+        resolved_raw[(resolved, co_name)] = (
+            resolved_raw.get((resolved, co_name), 0) + count
+        )
+    for key, quals in table.items():
+        count = resolved_raw.get(key)
+        if not count:
+            continue
+        for qual in quals:
+            profile.counts[qual] = profile.counts.get(qual, 0) + count
+    profile.builtin_counts = dict(profiler.builtins)
+    return profile

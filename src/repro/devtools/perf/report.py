@@ -1,0 +1,71 @@
+"""Ranking: static badness crossed with measured hotness.
+
+A flat lint report treats a ``sorted()`` in a cold error path and one in
+the per-message routing loop identically; the ranking does not.  Every
+static finding is scored
+
+    ``score = badness x max(1, hotness)``
+
+where ``badness`` is the cost model's loop-depth-derived severity and
+``hotness`` is the profiled call count of the enclosing function (the
+class's ``__init__`` for ``perf-slots``).  ``max(1, ...)`` keeps
+never-profiled code visible: with no profile at all every score
+degenerates to the static badness and the report stays useful, just
+unweighted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .costmodel import CostFinding
+from .profile import CallCountProfile
+
+
+@dataclass(frozen=True)
+class RankedFinding:
+    """One cost finding with its measured weight attached."""
+
+    finding: CostFinding
+    hotness: int
+    score: int
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.finding.kind,
+            "path": self.finding.path,
+            "line": self.finding.line,
+            "qualname": self.finding.qualname,
+            "badness": self.finding.badness,
+            "hotness": self.hotness,
+            "score": self.score,
+            "message": self.finding.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.finding.path}:{self.finding.line}: "
+            f"[perf-{self.finding.kind}] score={self.score} "
+            f"(badness={self.finding.badness} x hotness={self.hotness}) "
+            f"{self.finding.message}"
+        )
+
+
+def rank_findings(
+    findings: Sequence[CostFinding],
+    profile: Optional[CallCountProfile] = None,
+) -> List[RankedFinding]:
+    """Score and sort findings, hottest first; ties break by location so
+    the order is deterministic with or without a profile."""
+    ranked: List[RankedFinding] = []
+    for finding in findings:
+        hotness = 0
+        if profile:
+            hotness = profile.hotness(finding.qualname)
+            if finding.hotness_qualname:
+                hotness = max(hotness, profile.hotness(finding.hotness_qualname))
+        score = finding.badness * max(1, hotness)
+        ranked.append(RankedFinding(finding=finding, hotness=hotness, score=score))
+    ranked.sort(key=lambda r: (-r.score, r.finding.sort_key()))
+    return ranked

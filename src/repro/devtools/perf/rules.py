@@ -1,0 +1,107 @@
+"""The cost model packaged as lint rules.
+
+Four rules, one per finding kind, so suppressions and baselines can be
+managed per-pattern.  They are shipped in their own catalogue
+(:func:`perf_rules`) rather than ``all_rules()``: the correctness gate
+(``tests/devtools/test_gate.py``) requires a clean tree under the
+default set, while perf findings are a *trajectory* — the committed
+perf baseline captures the accepted debt and CI fails only on new
+findings.
+
+All four share one :class:`~.costmodel.CostAnalyzer` pass per module
+set (cached by identity, mirroring ``flow.get_analysis``), so running
+the full perf catalogue costs one traversal, not four.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..framework import Finding, ModuleInfo, ProjectRule
+from .costmodel import (
+    KIND_ALLOC,
+    KIND_HOT_SORT,
+    KIND_QUADRATIC,
+    KIND_SLOTS,
+    CostAnalyzer,
+)
+
+_CACHE: Dict[Tuple[int, ...], CostAnalyzer] = {}
+
+
+def get_cost_analysis(modules: Sequence[ModuleInfo]) -> CostAnalyzer:
+    """One shared analyzer per module set (keyed by object identity)."""
+    key = tuple(id(module) for module in modules)
+    analyzer = _CACHE.get(key)
+    if analyzer is None:
+        _CACHE.clear()  # rule runs are sequential; keep at most one set
+        analyzer = CostAnalyzer(modules)
+        _CACHE[key] = analyzer
+    return analyzer
+
+
+class _CostRule(ProjectRule):
+    """Base: emit the analyzer's findings for one kind."""
+
+    kind = ""
+
+    def check_project(self, modules: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        analyzer = get_cost_analysis(modules)
+        for finding in analyzer.findings:
+            if finding.kind == self.kind:
+                yield Finding(
+                    rule=self.name,
+                    path=finding.path,
+                    line=finding.line,
+                    message=finding.message,
+                )
+
+
+class HotSortRule(_CostRule):
+    name = "perf-hot-sort"
+    description = (
+        "sorted()/.sort() inside a loop re-sorts per iteration; maintain "
+        "an ordered structure or hoist the sort"
+    )
+    kind = KIND_HOT_SORT
+
+
+class QuadraticMembershipRule(_CostRule):
+    name = "perf-quadratic-membership"
+    description = (
+        "`x in xs` on a list/tuple inside a loop is an O(n) scan per "
+        "iteration; use a set"
+    )
+    kind = KIND_QUADRATIC
+
+
+class AllocInLoopRule(_CostRule):
+    name = "perf-alloc-in-loop"
+    description = (
+        "loop-invariant container build or expensive recomputation "
+        "(derive_seed/digest) inside a loop; hoist it"
+    )
+    kind = KIND_ALLOC
+
+
+class SlotsRule(_CostRule):
+    name = "perf-slots"
+    description = (
+        "instance-heavy class constructed under a loop lacks __slots__; "
+        "each instance pays a per-instance __dict__"
+    )
+    kind = KIND_SLOTS
+
+
+def perf_rules() -> List[ProjectRule]:
+    """Fresh instances of the perf catalogue, in report order."""
+    return [
+        HotSortRule(),
+        QuadraticMembershipRule(),
+        AllocInLoopRule(),
+        SlotsRule(),
+    ]
+
+
+PERF_RULE_NAMES: Tuple[str, ...] = tuple(rule.name for rule in perf_rules())

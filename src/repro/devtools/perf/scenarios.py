@@ -1,0 +1,199 @@
+"""Canonical pinned-seed scenarios driven by the profile/bench harness.
+
+Four workloads cover the four hot paths the cost model cares about:
+
+* ``bulk_insert`` — admission + placement: builds the overlay, then
+  inserts a file batch (routing, replica selection, diversion).
+* ``lookup_storm`` — the read path: round-robin lookups from clients
+  spread over the ring.
+* ``churn_round`` — failure detection, leaf-set repair, re-replication
+  and recovery reconciliation.
+* ``scrub_round`` — the anti-entropy scrubber's periodic verified
+  re-reads under the event simulator.
+
+Every scenario is a pure function of ``(nodes, seed)``: RNG streams are
+derived with :func:`~repro.core.seeding.derive_seed`, and the result
+carries a SHA-256 checksum over the observable outcomes so CI can diff
+two runs (different ``PYTHONHASHSEED``) byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ...core import AntiEntropyScrubber, PastConfig, PastNetwork, derive_seed
+from ...netsim import EventSimulator
+
+#: Seed every committed profile/bench artifact is pinned to.
+PINNED_SEED = 1201  # SOSP 2001, the paper's venue
+
+#: Default deployment size for committed artifacts; ``--nodes 10000``
+#: scales the same workloads up.
+DEFAULT_NODES = 1000
+
+
+@dataclass
+class ScenarioResult:
+    """Deterministic outcome of one scenario run (no timings here)."""
+
+    name: str
+    nodes: int
+    seed: int
+    #: Domain operations performed (inserts, lookups, churn ops, scrubs).
+    ops: int
+    op_kind: str
+    #: Simulator events executed (0 for scenarios not driven by a sim).
+    events: int
+    #: SHA-256 over the observable outcomes; byte-identical across
+    #: hashseeds and across the optimizations this package motivates.
+    checksum: str
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "nodes": self.nodes,
+            "seed": self.seed,
+            "ops": self.ops,
+            "op_kind": self.op_kind,
+            "events": self.events,
+            "checksum": self.checksum,
+        }
+
+
+def _checksum(parts: List[str]) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _file_count(nodes: int) -> int:
+    return max(40, nodes // 10)
+
+
+def _build(nodes: int, seed: int) -> Tuple[PastNetwork, List[int], List[str]]:
+    """A deployment with the standard file batch placed; returns the
+    network, the inserted fileIds, and outcome strings for checksums."""
+    rng = random.Random(derive_seed(seed, "perf-build"))
+    net = PastNetwork(PastConfig(l=16, k=3, seed=seed, cache_policy="none"))
+    net.build([rng.randrange(500_000, 1_000_000) for _ in range(nodes)])
+    owner = net.create_client("perf")
+    node_ids = [n.node_id for n in net.nodes()]
+    outcomes: List[str] = []
+    for i in range(_file_count(nodes)):
+        size = min(int(rng.lognormvariate(7.2, 1.5)) + 1, 50_000)
+        result = net.insert(
+            f"perf{i}", owner, size, node_ids[rng.randrange(len(node_ids))]
+        )
+        outcomes.append(
+            f"insert {i} ok={int(result.success)} fid={result.file_id} "
+            f"hops={result.hops} attempts={result.attempts}"
+        )
+    fids = net.live_file_ids()
+    return net, fids, outcomes
+
+
+def run_bulk_insert(nodes: int = DEFAULT_NODES, seed: int = PINNED_SEED) -> ScenarioResult:
+    net, fids, outcomes = _build(nodes, seed)
+    return ScenarioResult(
+        name="bulk_insert",
+        nodes=nodes,
+        seed=seed,
+        ops=_file_count(nodes),
+        op_kind="inserts",
+        events=0,
+        checksum=_checksum(outcomes + [f"files={len(fids)}"]),
+    )
+
+
+def run_lookup_storm(nodes: int = DEFAULT_NODES, seed: int = PINNED_SEED) -> ScenarioResult:
+    net, fids, _ = _build(nodes, seed)
+    rng = random.Random(derive_seed(seed, "perf-lookups"))
+    node_ids = sorted(net.pastry.node_ids)
+    n_lookups = 5 * _file_count(nodes)
+    outcomes: List[str] = []
+    for i in range(n_lookups):
+        fid = fids[i % len(fids)]
+        client = node_ids[rng.randrange(len(node_ids))]
+        result = net.lookup(fid, client)
+        outcomes.append(
+            f"lookup {i} ok={int(result.success)} hops={result.hops} "
+            f"responder={result.responder_id}"
+        )
+    return ScenarioResult(
+        name="lookup_storm",
+        nodes=nodes,
+        seed=seed,
+        ops=n_lookups,
+        op_kind="lookups",
+        events=0,
+        checksum=_checksum(outcomes),
+    )
+
+
+def run_churn_round(nodes: int = DEFAULT_NODES, seed: int = PINNED_SEED) -> ScenarioResult:
+    net, fids, _ = _build(nodes, seed)
+    rng = random.Random(derive_seed(seed, "perf-churn"))
+    victims = sorted(net.pastry.node_ids)
+    rng.shuffle(victims)
+    n_churn = max(4, nodes // 100)
+    ops = 0
+    outcomes: List[str] = []
+    for victim in victims[:n_churn]:
+        net.fail_node(victim)
+        ops += 1
+    for victim in victims[:n_churn]:
+        net.recover_node(victim)
+        ops += 1
+    net.repair_all()
+    ops += 1
+    probe = sorted(net.pastry.node_ids)[0]
+    available = sum(int(net.lookup(fid, probe).success) for fid in fids)
+    outcomes.append(f"available={available}/{len(fids)}")
+    outcomes.append(f"degraded={len(net.degraded_files)}")
+    return ScenarioResult(
+        name="churn_round",
+        nodes=nodes,
+        seed=seed,
+        ops=ops,
+        op_kind="churn ops",
+        events=0,
+        checksum=_checksum(outcomes),
+    )
+
+
+def run_scrub_round(nodes: int = DEFAULT_NODES, seed: int = PINNED_SEED) -> ScenarioResult:
+    net, fids, _ = _build(nodes, seed)
+    sim = EventSimulator()
+    scrubber = AntiEntropyScrubber(sim, net, interval=5.0, seed=seed)
+    scrubber.start()
+    sim.run_until(10.0)  # two scrub periods across the phase spread
+    scrubber.stop()
+    stats = net.integrity
+    outcomes = [
+        f"scrub_rounds={stats.scrub_rounds}",
+        f"scrub_corrupt_found={stats.scrub_corrupt_found}",
+        f"events={sim.events_run}",
+    ]
+    return ScenarioResult(
+        name="scrub_round",
+        nodes=nodes,
+        seed=seed,
+        ops=stats.scrub_rounds,
+        op_kind="scrub rounds",
+        events=sim.events_run,
+        checksum=_checksum(outcomes),
+    )
+
+
+#: name -> scenario runner, in canonical report order.
+SCENARIOS: Dict[str, Callable[[int, int], ScenarioResult]] = {
+    "bulk_insert": run_bulk_insert,
+    "lookup_storm": run_lookup_storm,
+    "churn_round": run_churn_round,
+    "scrub_round": run_scrub_round,
+}

@@ -41,9 +41,18 @@ def get_rules(
     ``names`` limits the run to the named rules (all rules when None);
     ``ignore`` then removes rules from that selection.  Unknown names in
     either list raise :class:`LintError`.
+
+    The perf catalogue (``perf-*``, see :mod:`repro.devtools.perf`) is
+    resolvable by name but never part of the default set: perf findings
+    are tracked against their own committed baseline, not the
+    correctness gate.
     """
+    from ..perf.rules import perf_rules
+
     rules = all_rules()
     by_name = {rule.name: rule for rule in rules}
+    for rule in perf_rules():
+        by_name[rule.name] = rule
 
     def _lookup(name: str) -> Rule:
         if name not in by_name:

@@ -41,6 +41,8 @@ def _call_site() -> str:
 class EventHandle:
     """Returned by ``schedule``; lets the caller cancel the event."""
 
+    __slots__ = ("time", "seq")
+
     time: float
     seq: int
 
@@ -48,6 +50,8 @@ class EventHandle:
 @dataclass(frozen=True)
 class PendingEvent:
     """One co-enabled event offered to a :class:`SchedulePolicy`."""
+
+    __slots__ = ("time", "seq", "callback")
 
     time: float
     seq: int
@@ -264,6 +268,11 @@ class EventSimulator:
 
 class PeriodicTimer:
     """A repeating timer driven by an :class:`EventSimulator`."""
+
+    __slots__ = (
+        "sim", "period", "callback", "jitter_fn", "_first_delay",
+        "_handle", "_running", "fires",
+    )
 
     def __init__(
         self,

@@ -31,6 +31,8 @@ from typing import Dict, List, Optional
 class TraceEvent:
     """One executed event, in execution order."""
 
+    __slots__ = ("index", "time", "seq", "callback", "site")
+
     index: int
     time: float
     seq: int
@@ -61,6 +63,8 @@ class Decision:
     exactly by feeding the ``chosen`` values back in order (the
     explorer's decision-string format, see ``repro.devtools.explore``).
     """
+
+    __slots__ = ("index", "chosen", "options")
 
     index: int
     chosen: int

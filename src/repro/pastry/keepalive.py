@@ -88,7 +88,7 @@ class KeepAliveMonitor:
         node = self.pastry.get_live(node_id)
         if node is not None:
             now = self.sim.now
-            for peer_id in sorted(node.leafset.members()):
+            for peer_id in node.leafset.sorted_members():
                 self._record_heard(node_id, peer_id, now)
         self._timers[node_id] = self.sim.every(
             self.interval, lambda nid=node_id: self._probe_round(nid)
@@ -153,7 +153,7 @@ class KeepAliveMonitor:
         plan = self.pastry.fault_plan
         # Sorted: on_detect can trigger repairs, so detection order within
         # a probe round must not depend on set iteration order.
-        for peer_id in sorted(observer.leafset.members()):
+        for peer_id in observer.leafset.sorted_members():
             self.probes_sent += 1
             if self.pastry.is_live(peer_id):
                 if plan is None or not plan.probe_lost(observer_id, peer_id):

@@ -30,6 +30,11 @@ class LeafSet:
     forgotten), which :meth:`covers` must account for.
     """
 
+    __slots__ = (
+        "owner_id", "l", "_members", "_dirty", "_smaller", "_larger",
+        "_ever_trimmed", "_sorted", "_with_owner",
+    )
+
     def __init__(self, owner_id: int, l: int):
         if l < 2 or l % 2 != 0:
             raise ValueError(f"leaf set size l must be a positive even number, got {l}")
@@ -40,6 +45,14 @@ class LeafSet:
         self._smaller: List[int] = []  # sorted by ccw distance from owner, nearest first
         self._larger: List[int] = []  # sorted by cw distance from owner, nearest first
         self._ever_trimmed = False
+        #: Maintained ordered views, built lazily on first request after
+        #: a mutation batch instead of re-sorted at every consumer:
+        #: members ascending, and the same plus the owner (the candidate
+        #: pool of every closest-* query).  ``None`` means stale — they
+        #: must NOT be built eagerly in :meth:`_recompute`, which runs
+        #: once per mutation batch whether or not anyone needs them.
+        self._sorted: Optional[tuple] = ()
+        self._with_owner: Optional[tuple] = (owner_id,)
 
     # ------------------------------------------------------------------ views
 
@@ -94,6 +107,10 @@ class LeafSet:
             ),
             key=lambda i: idspace.counterclockwise_distance(self.owner_id, i),
         )[:half]
+        # Recompute only runs when membership changed, so the ordered
+        # views are stale exactly now; they are rebuilt on demand.
+        self._sorted = None
+        self._with_owner = None
         self._dirty = False
 
     @property
@@ -112,6 +129,27 @@ class LeafSet:
         """All current leaf-set members (excluding the owner)."""
         self._recompute()
         return set(self._members)
+
+    def sorted_members(self) -> tuple:
+        """Members ascending, as a shared immutable view.
+
+        Equivalent to ``sorted(ls.members())`` without the per-call set
+        copy and re-sort; the tuple is rebuilt at most once per
+        membership change, and only if actually requested.  Ints sort by
+        value, so the view is hashseed-independent and byte-identical to
+        what every caller's ad-hoc ``sorted(members())`` used to produce.
+        """
+        self._recompute()
+        if self._sorted is None:
+            self._sorted = tuple(sorted(self._members))
+        return self._sorted
+
+    def sorted_members_with_owner(self) -> tuple:
+        """Members plus the owner, ascending (shared immutable view)."""
+        self._recompute()
+        if self._with_owner is None:
+            self._with_owner = tuple(sorted(self._members | {self.owner_id}))
+        return self._with_owner
 
     def __contains__(self, node_id: int) -> bool:
         self._recompute()
@@ -215,10 +253,12 @@ class LeafSet:
     def closest_to(self, key: int, include_self: bool = True) -> Optional[int]:
         """Numerically closest node to ``key`` among members (and owner)."""
         self._recompute()
-        candidates = set(self._members)
+        # closest_of's tie-break is a strict total order, so feeding it
+        # the cached view / live set (no per-call copy) returns the same
+        # node the old copy-then-scan did.
         if include_self:
-            candidates.add(self.owner_id)
-        return idspace.closest_of(candidates, key)
+            return idspace.closest_of(self.sorted_members_with_owner(), key)
+        return idspace.closest_of(self._members, key)
 
     def closest_nodes(self, key: int, k: int, include_self: bool = True) -> List[int]:
         """The ``k`` members (optionally incl. owner) numerically closest to ``key``.
@@ -228,9 +268,10 @@ class LeafSet:
         which must appear in its leaf set (PAST requires ``k <= l/2 + 1``).
         """
         self._recompute()
-        candidates = set(self._members)
         if include_self:
-            candidates.add(self.owner_id)
+            candidates = self.sorted_members_with_owner()
+        else:
+            candidates = self._members
         return idspace.sort_by_distance(candidates, key)[:k]
 
     def state_rows(self) -> dict:

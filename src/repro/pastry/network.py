@@ -49,6 +49,11 @@ class DeliveryRecord:
     marks messages absorbed by a malicious node.
     """
 
+    __slots__ = (
+        "key", "origin", "terminus", "closest_live", "hops",
+        "intercepted", "dropped", "lost", "duplicate",
+    )
+
     key: int
     origin: int
     terminus: Optional[int]
@@ -57,9 +62,9 @@ class DeliveryRecord:
     intercepted: bool
     dropped: bool
     #: The fault plane lost the message in flight (no delivery happened).
-    lost: bool = False
+    lost: bool
     #: This record is the extra copy created by link-level duplication.
-    duplicate: bool = False
+    duplicate: bool
 
     @property
     def misdelivered(self) -> bool:
@@ -267,7 +272,7 @@ class PastryNetwork:
             depth = idspace.shared_prefix_length(hop.node_id, node.node_id, self.b)
             for row in range(min(depth + 1, node.routing_table.rows)):
                 node.routing_table.install_row(row, hop.routing_table.row(row))
-        for member in sorted(node.leafset.members()):
+        for member in node.leafset.sorted_members():
             node.routing_table.consider(member)
 
         self._register(node)
@@ -403,19 +408,19 @@ class PastryNetwork:
         if node is None:
             raise KeyError(f"node {node_id} is not failed")
         node.alive = True
-        old_members = sorted(node.leafset.members())
+        old_members = node.leafset.sorted_members()
         node.leafset = type(node.leafset)(node.node_id, self.l)
         for member_id in old_members:
             donor = self._nodes.get(member_id)
             if donor is None:
                 continue
             node.leafset.add(member_id)
-            for m in sorted(donor.leafset.members()):
+            for m in donor.leafset.sorted_members():
                 if self.is_live(m):
                     node.leafset.add(m)
         node.exchange_leafsets()
         self._register(node)
-        for member_id in sorted(node.leafset.members()):
+        for member_id in node.leafset.sorted_members():
             member = self._nodes.get(member_id)
             if member is not None:
                 member.learn(node_id)

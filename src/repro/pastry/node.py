@@ -61,6 +61,13 @@ class PastryNode:
     ``l`` the leaf-set/neighborhood-set size.
     """
 
+    # _crash_witnesses is assigned by PastryNetwork.mark_failed (and read
+    # back with getattr + default), not by __init__ — it still needs a slot.
+    __slots__ = (
+        "node_id", "network", "coord", "b", "l", "alive", "leafset",
+        "routing_table", "_neighborhood", "app", "_crash_witnesses",
+    )
+
     def __init__(
         self,
         node_id: int,
@@ -164,7 +171,7 @@ class PastryNode:
             donor = self.network.get_live(donor_id)
             if donor is None:
                 continue
-            for member in sorted(donor.leafset.members() | {donor_id}):
+            for member in donor.leafset.sorted_members_with_owner():
                 if self.network.is_live(member):
                     self.leafset.add(member)
         if not self.leafset.is_full() and self.leafset.ever_trimmed:
@@ -187,13 +194,15 @@ class PastryNode:
         pulls = 0
         for _ in range(self.l):
             before = self.leafset.members()
-            for donor_id in sorted(before):
+            # sorted_members() snapshots an immutable tuple, so the adds
+            # below never perturb this round's iteration order.
+            for donor_id in self.leafset.sorted_members():
                 donor = self.network.get_live(donor_id)
                 if donor is None:
                     continue
                 pulls += 1
                 self.network.stats.record_rpc()
-                for member in sorted(donor.leafset.members()):
+                for member in donor.leafset.sorted_members():
                     if self.network.is_live(member):
                         self.leafset.add(member)
             if self.leafset.members() == before:
@@ -236,7 +245,7 @@ class PastryNode:
                 # same member regardless of set iteration order.
                 alternates = [
                     m
-                    for m in sorted(self.leafset.members())
+                    for m in self.leafset.sorted_members()
                     if idspace.is_strictly_closer(m, self.node_id, key)
                     and self.network.is_live(m)
                 ]

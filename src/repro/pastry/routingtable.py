@@ -33,6 +33,11 @@ class RoutingTable:
         qualify for the same slot.
     """
 
+    __slots__ = (
+        "owner_id", "b", "rows", "cols", "_proximity", "_entries",
+        "_own_digits",
+    )
+
     def __init__(self, owner_id: int, b: int, proximity: ProximityFn):
         self.owner_id = owner_id
         self.b = b

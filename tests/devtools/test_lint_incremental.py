@@ -104,3 +104,35 @@ class TestChanged:
         monkeypatch.chdir(repo)
         assert lint_main([".", "--changed"]) == 0
         assert "no changed python files" in capsys.readouterr().out
+
+    def test_changed_skips_deleted_files(self, repo, monkeypatch):
+        monkeypatch.chdir(repo)
+        (repo / "clean.py").unlink()
+        # The deleted file is in the diff but must not be linted; a lone
+        # deletion leaves nothing to check at all.
+        assert changed_files(["."]) == []
+
+    def test_changed_follows_renames(self, repo, monkeypatch):
+        monkeypatch.chdir(repo)
+
+        def git(*args):
+            subprocess.run(
+                ["git", *args], cwd=repo, check=True, capture_output=True
+            )
+
+        git("mv", "clean.py", "renamed.py")
+        # Only the new name is linted — the old half of the rename has
+        # nothing on disk and must not surface as a phantom candidate.
+        assert changed_files(["."]) == ["renamed.py"]
+
+    def test_changed_works_from_a_subdirectory(self, repo, monkeypatch):
+        # Names from git are repo-root-relative; run from a subdirectory
+        # to prove they are anchored at the root, not the cwd.
+        sub = repo / "pkg"
+        sub.mkdir()
+        (sub / "mod.py").write_text("a = 1\n")
+        (repo / "clean.py").unlink()  # deletion mixed into the same diff
+        monkeypatch.chdir(sub)
+        assert changed_files(["."]) == ["mod.py"]
+        # A root naming the repo top level still sees the new file.
+        assert changed_files([".."]) == ["mod.py"]

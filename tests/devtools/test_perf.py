@@ -1,0 +1,272 @@
+"""Tests for the static cost analyzer and perf lint rules.
+
+Planted fixtures: a quadratic-membership loop and a sort-in-a-loop that
+the analyzer MUST flag, plus an ordered-container rewrite of the same
+logic that it must NOT flag (the shape every fix in this repo follows).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools import module_from_source, run_rules
+from repro.devtools.perf import (
+    CostAnalyzer,
+    PERF_RULE_NAMES,
+    perf_rules,
+    rank_findings,
+)
+from repro.devtools.perf.costmodel import (
+    KIND_ALLOC,
+    KIND_HOT_SORT,
+    KIND_QUADRATIC,
+    KIND_SLOTS,
+)
+from repro.devtools.perf.profile import CallCountProfile
+
+
+def analyze(source, name="repro.core.fixture"):
+    module = module_from_source(source, name=name, path="fixture.py")
+    return CostAnalyzer([module]).findings
+
+
+def kinds(findings):
+    return [f.kind for f in findings]
+
+
+PLANTED_QUADRATIC = """\
+def dedup(items):
+    seen = []
+    for item in items:
+        if item not in seen:
+            seen.append(item)
+    return seen
+"""
+
+PLANTED_SORT_IN_LOOP = """\
+def closest_each(queries, members):
+    out = []
+    for q in queries:
+        ranked = sorted(members)
+        out.append(ranked[0])
+    return out
+"""
+
+# The ordered-container equivalent: membership via a set, the sort
+# hoisted out of the loop.  Must produce zero findings.
+CLEAN_ORDERED = """\
+def dedup(items):
+    seen = set()
+    out = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out
+
+def closest_each(queries, members):
+    ranked = sorted(members)
+    return [ranked[0] for _ in queries]
+"""
+
+
+class TestPlantedFixtures:
+    def test_flags_quadratic_membership(self):
+        found = analyze(PLANTED_QUADRATIC)
+        assert KIND_QUADRATIC in kinds(found)
+        (hit,) = [f for f in found if f.kind == KIND_QUADRATIC]
+        assert hit.line == 4
+        assert hit.qualname == "repro.core.fixture.dedup"
+
+    def test_flags_sort_in_loop(self):
+        found = analyze(PLANTED_SORT_IN_LOOP)
+        assert KIND_HOT_SORT in kinds(found)
+        (hit,) = [f for f in found if f.kind == KIND_HOT_SORT]
+        assert hit.line == 4
+
+    def test_clean_ordered_container_is_not_flagged(self):
+        assert analyze(CLEAN_ORDERED) == []
+
+    def test_membership_on_set_is_not_quadratic(self):
+        source = (
+            "def f(items):\n"
+            "    seen = set()\n"
+            "    for i in items:\n"
+            "        if i in seen:\n"
+            "            pass\n"
+        )
+        assert KIND_QUADRATIC not in kinds(analyze(source))
+
+    def test_nested_loop_raises_badness(self):
+        source = (
+            "def f(rows):\n"
+            "    bag = []\n"
+            "    for row in rows:\n"
+            "        for cell in row:\n"
+            "            if cell in bag:\n"
+            "                bag.append(cell)\n"
+        )
+        (hit,) = [f for f in analyze(source) if f.kind == KIND_QUADRATIC]
+        assert hit.badness == 3  # depth 2 + 1
+
+    def test_loop_variant_alloc_is_not_flagged(self):
+        # The allocation consumes the loop variable: not hoistable.
+        source = (
+            "def f(rows):\n"
+            "    out = []\n"
+            "    for row in rows:\n"
+            "        out.append(sorted(row))\n"
+            "    return out\n"
+        )
+        assert KIND_ALLOC not in kinds(analyze(source))
+
+    def test_loop_invariant_alloc_is_flagged(self):
+        source = (
+            "def f(rows, base):\n"
+            "    out = []\n"
+            "    for row in rows:\n"
+            "        out.append(set(base))\n"
+            "    return out\n"
+        )
+        assert KIND_ALLOC in kinds(analyze(source))
+
+    def test_slots_for_class_constructed_in_loop(self):
+        source = (
+            "class Record:\n"
+            "    def __init__(self, a, b):\n"
+            "        self.a = a\n"
+            "        self.b = b\n"
+            "\n"
+            "def make(n):\n"
+            "    return [Record(i, i) for i in range(n)]\n"
+        )
+        found = [f for f in analyze(source) if f.kind == KIND_SLOTS]
+        assert len(found) == 1
+        assert "Record" in found[0].message
+        # Hotness attribution points at the constructing function, not
+        # the (possibly synthetic) __init__.
+        assert found[0].hotness_qualname == "repro.core.fixture.make"
+
+    def test_slotted_class_is_not_flagged(self):
+        source = (
+            "class Record:\n"
+            "    __slots__ = ('a',)\n"
+            "    def __init__(self, a):\n"
+            "        self.a = a\n"
+            "\n"
+            "def make(n):\n"
+            "    return [Record(i) for i in range(n)]\n"
+        )
+        assert KIND_SLOTS not in kinds(analyze(source))
+
+    def test_out_of_scope_module_is_ignored(self):
+        module = module_from_source(
+            PLANTED_QUADRATIC, name="repro.experiments.fig3", path="fig3.py"
+        )
+        assert CostAnalyzer([module]).findings == []
+
+
+class TestPerfRules:
+    def test_rule_names(self):
+        assert PERF_RULE_NAMES == (
+            "perf-hot-sort",
+            "perf-quadratic-membership",
+            "perf-alloc-in-loop",
+            "perf-slots",
+        )
+
+    def test_rules_emit_framework_findings(self):
+        module = module_from_source(
+            PLANTED_QUADRATIC + PLANTED_SORT_IN_LOOP,
+            name="repro.core.fixture",
+            path="fixture.py",
+        )
+        found = run_rules([module], perf_rules())
+        assert {f.rule for f in found} == {
+            "perf-quadratic-membership",
+            "perf-hot-sort",
+        }
+
+    def test_suppression_comment_applies(self):
+        source = PLANTED_QUADRATIC.replace(
+            "if item not in seen:",
+            "if item not in seen:  # lint: ignore[perf-quadratic-membership]",
+        )
+        module = module_from_source(
+            source, name="repro.core.fixture", path="fixture.py"
+        )
+        assert run_rules([module], perf_rules()) == []
+
+    def test_perf_rules_not_in_default_catalogue(self):
+        from repro.devtools.rules import all_rules, get_rules
+
+        default_names = {r.name for r in all_rules()}
+        assert not default_names & set(PERF_RULE_NAMES)
+        # ...but resolvable by explicit selection.
+        selected = get_rules(["perf-hot-sort"])
+        assert [r.name for r in selected] == ["perf-hot-sort"]
+
+
+class TestRanking:
+    def _profile(self, counts):
+        return CallCountProfile(
+            nodes=10, seed=1, counts=counts, builtin_counts={}, scenarios=[]
+        )
+
+    def test_rank_orders_by_score_then_position(self):
+        found = analyze(PLANTED_QUADRATIC + "\n" + PLANTED_SORT_IN_LOOP)
+        profile = self._profile(
+            {"repro.core.fixture.closest_each": 500, "repro.core.fixture.dedup": 2}
+        )
+        ranked = rank_findings(found, profile)
+        assert ranked[0].finding.kind == KIND_HOT_SORT
+        # hot-sort badness == loop depth (1 here); score = badness x hotness
+        assert ranked[0].score == 1 * 500
+        assert ranked[0].score > ranked[1].score
+
+    def test_unprofiled_function_gets_floor_hotness(self):
+        found = analyze(PLANTED_QUADRATIC)
+        ranked = rank_findings(found, self._profile({}))
+        quad = [r for r in ranked if r.finding.kind == KIND_QUADRATIC][0]
+        assert quad.hotness == 0
+        assert quad.score == quad.finding.badness  # max(1, hotness) floor
+
+    def test_ranked_finding_roundtrips_to_json(self):
+        found = analyze(PLANTED_SORT_IN_LOOP)
+        ranked = rank_findings(found, self._profile({}))
+        payload = json.dumps([r.to_dict() for r in ranked], sort_keys=True)
+        parsed = json.loads(payload)
+        assert parsed[0]["kind"] == "hot-sort"
+        assert parsed[0]["score"] == parsed[0]["badness"] * 1
+
+    def test_report_is_deterministic(self):
+        found = analyze(PLANTED_QUADRATIC + "\n" + PLANTED_SORT_IN_LOOP)
+        profile = self._profile({"repro.core.fixture.dedup": 7})
+        a = [r.to_dict() for r in rank_findings(found, profile)]
+        b = [
+            r.to_dict()
+            for r in rank_findings(
+                list(reversed(found)), profile
+            )
+        ]
+        assert a == b
+
+
+class TestRealTree:
+    def test_analyzer_is_clean_on_src_after_fixes(self, monkeypatch):
+        """The committed tree carries no un-suppressed perf findings
+        beyond the accepted baseline (see benchmarks/perf_baseline.json)."""
+        from pathlib import Path
+
+        from repro.devtools.framework import collect_modules
+        from repro.devtools.lint import finding_key, load_baseline
+
+        root = Path(__file__).resolve().parents[2]
+        # Baseline keys carry repo-relative paths (the CLI is run from
+        # the repo root); collect the same way.
+        monkeypatch.chdir(root)
+        modules = collect_modules(["src"])
+        found = run_rules(modules, perf_rules())
+        accepted = load_baseline("benchmarks/perf_baseline.json")
+        new = [f for f in found if finding_key(f) not in accepted]
+        assert new == [], [f"{f.path}:{f.line} {f.rule}" for f in new]

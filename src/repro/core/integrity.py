@@ -36,12 +36,13 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Set
 
-from ..netsim.eventsim import EventSimulator, PeriodicTimer
 from ..netsim.faults import READ_CORRUPT, READ_ERROR
+from ..netsim.transport import as_transport
 from ..pastry import idspace
 from .seeding import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.eventsim import PeriodicTimer
     from .network import PastNetwork
     from .node import PastNode
     from ..security import FileCertificate
@@ -90,7 +91,7 @@ class AntiEntropyScrubber:
 
     def __init__(
         self,
-        sim: EventSimulator,
+        sim,
         network: "PastNetwork",
         interval: float = 5.0,
         jitter: float = 0.0,
@@ -100,12 +101,14 @@ class AntiEntropyScrubber:
             raise ValueError("interval must be positive")
         if not 0.0 <= jitter < interval:
             raise ValueError("jitter must be in [0, interval)")
-        self.sim = sim
+        # ``sim`` may be a raw EventSimulator (the historical signature)
+        # or any Transport; timers go through the seam either way.
+        self.transport = as_transport(sim, network.pastry)
         self.network = network
         self.interval = interval
         self.jitter = jitter
         self.rng = random.Random(derive_seed(seed, "anti-entropy-scrub"))
-        self._timers: Dict[int, PeriodicTimer] = {}
+        self._timers: Dict[int, "PeriodicTimer"] = {}
         network.pastry.add_recovery_listener(self._on_recover)
 
     # ------------------------------------------------------------ lifecycle
@@ -123,7 +126,7 @@ class AntiEntropyScrubber:
         jitter_fn = None
         if self.jitter > 0.0:
             jitter_fn = lambda: self.rng.uniform(-self.jitter, self.jitter)
-        self._timers[node_id] = self.sim.every(
+        self._timers[node_id] = self.transport.every(
             self.interval,
             lambda: self.scrub_node(node_id),
             jitter_fn=jitter_fn,
@@ -205,7 +208,6 @@ class AntiEntropyScrubber:
         or a dangling pointer marks the file for the §3.5 repair flow.
         """
         net = self.network
-        plan = net.pastry.fault_plan
         key = idspace.routing_key(fid)
         kset = node.leafset.closest_nodes(key, cert.k)
         if node.node_id not in kset:
@@ -217,11 +219,12 @@ class AntiEntropyScrubber:
             member = net.past_node_or_none(member_id)
             if member is None:
                 continue  # unreachable: keep-alive's problem, not ours
-            net.pastry.stats.record_rpc()
-            if plan is not None and plan.rpc_lost(node.node_id, member_id):
+            delivered, digest = net.transport.send(
+                node.node_id, member_id, member.integrity_digest, fid
+            )
+            if not delivered:
                 continue
             holder = member
-            digest = member.integrity_digest(fid)
             if digest is None:
                 pointer = member.store.pointers.get(fid)
                 if pointer is None:
@@ -236,6 +239,11 @@ class AntiEntropyScrubber:
             if digest != cert.content_hash:
                 net.integrity.scrub_corrupt_found += 1
                 holder.read_repair(fid)
-        if needs_repair:
+        if needs_repair and node.store.references_file(fid):
+            # Confirm-reread before acting: every member RPC above is a
+            # suspension point under a concurrent transport, and a
+            # reclaim or shed interleaved there can retire this node's
+            # own entry — at which point the repair duty belongs to the
+            # file's current replica set, not to us.
             net.integrity.scrub_missing_found += 1
             node.request_repair(fid)

@@ -41,6 +41,7 @@ from .seeding import derive_seed
 from .node import PastNode
 from .stats import InsertEvent, LookupEvent, PastStats
 from .storage import LocalStore
+from .transport import SimTransport
 
 
 @dataclass
@@ -116,6 +117,10 @@ class PastNetwork:
             seed=self.config.seed,
             randomize_routing=self.config.randomize_routing,
         )
+        #: The transport seam (messaging half): every routed message and
+        #: direct RPC the storage layer issues goes through this object,
+        #: so an AsyncioTransport can replace the emulated plane wholesale.
+        self.transport = SimTransport(None, self.pastry)
         self.rng = random.Random(derive_seed(self.config.seed, "past-network"))
         #: Dedicated stream for client retry jitter: keeps RetryPolicy
         #: draws off ``self.rng`` so enabling retries cannot shift the
@@ -380,7 +385,7 @@ class PastNetwork:
                 self._record_insert(result)
                 return result
             request = InsertRequest(cert, client_id, content=content)
-            route = self.pastry.route(client_id, idspace.routing_key(fid), message=request)
+            route = self.transport.route(client_id, idspace.routing_key(fid), message=request)
             total_hops += route.hops
             if policy is not None and (route.lost or route.dropped):
                 request, route, retry_hops = self._reroute_insert(
@@ -440,7 +445,7 @@ class PastNetwork:
         try:
             for retry in range(1, policy.max_attempts):
                 request = InsertRequest(cert, client_id, content=content)
-                route = self.pastry.route(
+                route = self.transport.route(
                     client_id, idspace.routing_key(cert.file_id), message=request
                 )
                 hops += route.hops
@@ -501,7 +506,7 @@ class PastNetwork:
         self.clock += 1
         for _attempt in range(retries + 1):
             request = LookupRequest(file_id, client_id)
-            route = self.pastry.route(
+            route = self.transport.route(
                 client_id, idspace.routing_key(file_id), message=request,
                 collect_distance=True,
             )
@@ -558,7 +563,7 @@ class PastNetwork:
                     break
                 attempts = attempt
                 request = LookupRequest(file_id, client_id)
-                route = self.pastry.route(
+                route = self.transport.route(
                     client_id, key, message=request, collect_distance=True
                 )
                 total_hops += route.hops
@@ -626,16 +631,15 @@ class PastNetwork:
         terminus = self._past.get(terminus_id)
         if terminus is None:
             return False
-        plan = self.pastry.fault_plan
         for holder_id in terminus.replica_set_for(key):
             holder = self._past.get(holder_id)
             if holder is None:
                 continue
             request.extra_hops += 1
-            self.pastry.stats.record_rpc()
-            if plan is not None and plan.rpc_lost(request.client_id, holder_id):
-                continue
-            if holder._try_satisfy_lookup(request):
+            delivered, served = self.transport.send(
+                request.client_id, holder_id, holder._try_satisfy_lookup, request
+            )
+            if delivered and served:
                 return True
         return False
 
@@ -651,7 +655,7 @@ class PastNetwork:
         self.clock += 1
         cert = owner.issue_reclaim_certificate(file_id)
         request = ReclaimRequest(cert, client_id)
-        route = self.pastry.route(
+        route = self.transport.route(
             client_id, idspace.routing_key(file_id), message=request
         )
         coordinator_id = request.coordinator_id or route.terminus

@@ -138,8 +138,10 @@ class PastNode(PastryApplication):
             if target is not None and target.store.holds_file(fid):
                 # One additional RPC to fetch the diverted replica (§3.3).
                 msg.extra_hops += 1
-                self.network.pastry.stats.record_rpc()
-                verdict = target.store.verify_replica(fid)
+                _, verdict = self.network.transport.send(
+                    self.node_id, pointer.target_id,
+                    target.store.verify_replica, fid, reliable=True,
+                )
                 if verdict == READ_OK:
                     return self._respond(msg, "pointer", pointer.certificate)
                 target._note_failed_read(msg, fid, verdict)
@@ -198,21 +200,21 @@ class PastNode(PastryApplication):
             request.failure_reason = "insufficient nodes for k replicas"
             return False
 
-        plan = self.network.pastry.fault_plan
         placed: List[int] = []
         for member_id in replica_set:
             # The leaf set can name a member that crashed but has not
-            # been detected yet, and with a fault plane the store RPC
-            # itself can be lost; either way this member cannot
-            # acknowledge its replica, so the insert must roll back
-            # (and the client re-salts or retries) rather than crash
-            # the coordinator.
+            # been detected yet (the store RPC goes out and times out:
+            # ``call=None``), and the RPC itself can be lost in flight;
+            # either way this member cannot acknowledge its replica, so
+            # the insert must roll back (and the client re-salts or
+            # retries) rather than crash the coordinator.
             member = self.network.past_node_or_none(member_id)
-            self.network.pastry.stats.record_rpc()
-            unreachable = member is None or (
-                plan is not None and plan.rpc_lost(self.node_id, member_id)
+            delivered, stored = self.network.transport.send(
+                self.node_id, member_id,
+                None if member is None else member.accept_replica,
+                request, replica_set,
             )
-            if not unreachable and member.accept_replica(request, replica_set):
+            if delivered and stored:
                 placed.append(member_id)
             else:
                 for placed_id in placed:
@@ -221,7 +223,7 @@ class PastNode(PastryApplication):
                         holder.abort_replica(cert.file_id)
                 request.receipts.clear()
                 request.replica_diversions = 0
-                if unreachable and request.failure_reason is None:
+                if not delivered and request.failure_reason is None:
                     request.failure_reason = "replica-set member unreachable"
                 if request.failure_reason is None:
                     request.failure_reason = "no storage within leaf set"
@@ -263,8 +265,11 @@ class PastNode(PastryApplication):
         if b_id is None:
             return None
         b_node = self.network.past_node(b_id)
-        self.network.pastry.stats.record_rpc()
-        if not b_node.accept_diverted_replica(cert, referrer_id=self.node_id):
+        _, accepted = self.network.transport.send(
+            self.node_id, b_id, b_node.accept_diverted_replica, cert,
+            reliable=True, referrer_id=self.node_id,
+        )
+        if not accepted:
             return None
         self.store.add_pointer(cert, b_id, primary=True)
         self._install_backup_pointer(cert, b_id, key, exclude=set(replica_set))
@@ -320,11 +325,13 @@ class PastNode(PastryApplication):
             # C already has an entry of its own for this file; never
             # clobber it with a backup pointer.
             return
-        c_node.store.add_pointer(cert, b_id, primary=False)
+        self.network.transport.send(
+            self.node_id, c_id, c_node.store.add_pointer, cert, b_id,
+            reliable=True, primary=False,
+        )
         replica = b_node.store.diverted_in.get(cert.file_id)
         if replica is not None:
             replica.referrers.add(c_id)
-        self.network.pastry.stats.record_rpc()
 
     def accept_diverted_replica(self, cert: FileCertificate, referrer_id: int) -> bool:
         """Node B's half of replica diversion: the stricter t_div policy."""
@@ -542,34 +549,53 @@ class PastNode(PastryApplication):
             ]
             if idspace.sort_by_distance(holders, key)[0] != self.node_id:
                 return
-        plan = self.network.pastry.fault_plan
         all_ok = True
         for member_id in needs:
             member = self.network.past_node_or_none(member_id)
             if member is None:
                 all_ok = False
                 continue
-            self.network.pastry.stats.record_rpc()
-            if plan is not None and plan.rpc_lost(self.node_id, member_id):
-                # The repair RPC was lost mid-leaf-set-repair: this
-                # member keeps its stale entry for now.  The file is
-                # flagged degraded so a later maintenance pass (or
-                # repair_all at quiescence) finishes the job.
-                all_ok = False
-                continue
-            member.drop_pointer_and_deref(fid)
-            if member_id == newcomer_id:
-                displaced = self._displaced_member(key, kset, member_id, cert.k)
-                if member.receive_join_offer(cert, displaced, forbidden_targets=seen):
-                    seen.add(member.store.pointers[fid].target_id
-                             if fid in member.store.pointers else member_id)
-                    continue
-            if not member.replicate_file(cert):
+            # A lost repair RPC leaves this member with its stale entry
+            # for now; the file is flagged degraded so a later
+            # maintenance pass (or repair_all at quiescence) finishes
+            # the job.
+            delivered, repaired = self.network.transport.send(
+                self.node_id, member_id, self._apply_member_repair,
+                member, member_id, fid, cert, key, kset, newcomer_id, seen,
+            )
+            if not delivered or not repaired:
                 all_ok = False
         if all_ok:
             self.network.degraded_files.discard(fid)
         else:
             self.network.note_degraded_file(fid)
+
+    def _apply_member_repair(
+        self,
+        member: "PastNode",
+        member_id: int,
+        fid: int,
+        cert: FileCertificate,
+        key: int,
+        kset: List[int],
+        newcomer_id: Optional[int],
+        seen: Set[int],
+    ) -> bool:
+        """The member-side body of one §3.5 repair RPC.
+
+        Drops the member's stale entry, offers the join-time pointer
+        shortcut to a newcomer, and otherwise has the member re-acquire
+        a real replica.  Returns True when the member ends up with a
+        usable entry.
+        """
+        member.drop_pointer_and_deref(fid)
+        if member_id == newcomer_id:
+            displaced = self._displaced_member(key, kset, member_id, cert.k)
+            if member.receive_join_offer(cert, displaced, forbidden_targets=seen):
+                seen.add(member.store.pointers[fid].target_id
+                         if fid in member.store.pointers else member_id)
+                return True
+        return member.replicate_file(cert)
 
     def request_repair(self, fid: int) -> None:
         """Ask every current kset member to re-check the file's invariant.
@@ -607,6 +633,12 @@ class PastNode(PastryApplication):
         donor = self._find_verified_donor(fid, replica.certificate)
         if donor is None:
             return False  # no verified copy reachable; a later pass retries
+        if self.store.get_replica(fid) is None:
+            # Confirm-reread: the donor search suspends at every
+            # candidate RPC, and a reclaim or migration interleaved
+            # there can remove the local copy — repairing a replica we
+            # no longer hold would resurrect freed storage.
+            return False
         plan = self.store.fault_plan
         if plan is not None and not plan.writable(self.node_id):
             self.shed_corrupt_replica(fid)
@@ -624,7 +656,6 @@ class PastNode(PastryApplication):
         diversion pointers to their targets; each candidate costs one
         direct RPC that the fault plane may lose.
         """
-        plan = self.network.pastry.fault_plan
         key = idspace.routing_key(fid)
         for member_id in self.leafset.closest_nodes(key, cert.k + 1):
             if member_id == self.node_id:
@@ -641,10 +672,10 @@ class PastNode(PastryApplication):
                 if target is None or not target.store.holds_file(fid):
                     continue
                 holder, holder_id = target, pointer.target_id
-            self.network.pastry.stats.record_rpc()
-            if plan is not None and plan.rpc_lost(self.node_id, holder_id):
-                continue
-            if holder.store.verify_replica(fid) == READ_OK:
+            delivered, verdict = self.network.transport.send(
+                self.node_id, holder_id, holder.store.verify_replica, fid
+            )
+            if delivered and verdict == READ_OK:
                 return holder_id
         return None
 
@@ -770,8 +801,10 @@ class PastNode(PastryApplication):
             extreme = self.network.past_node_or_none(extreme_id)
             if extreme is None:
                 continue
-            self.network.pastry.stats.record_rpc()
-            for member_id in extreme.leafset.members():
+            _, extreme_members = self.network.transport.send(
+                self.node_id, extreme_id, extreme.leafset.members, reliable=True
+            )
+            for member_id in extreme_members:
                 if member_id in exclude:
                     continue
                 member = self.network.past_node_or_none(member_id)
@@ -895,7 +928,10 @@ class PastNode(PastryApplication):
                 continue
             self.store.drop_pointer(fid)
             self.store.store_replica(cert, diverted=False)
-            dropped = target.store.drop_replica(fid)
+            _, dropped = self.network.transport.send(
+                self.node_id, pointer.target_id, target.store.drop_replica,
+                fid, reliable=True,
+            )
             if dropped is not None:
                 for ref in sorted(dropped.referrers):
                     if ref == self.node_id:
@@ -903,6 +939,5 @@ class PastNode(PastryApplication):
                     ref_node = self.network.past_node_or_none(ref)
                     if ref_node is not None:
                         ref_node.store.drop_pointer(fid)
-            self.network.pastry.stats.record_rpc()
             migrated += 1
         return migrated

@@ -18,6 +18,15 @@ from typing import List, Optional
 class InsertEvent:
     """One client-level insert operation (spanning all re-salt attempts)."""
 
+    __slots__ = (
+        "size",
+        "success",
+        "utilization",
+        "file_diversions",
+        "replica_diversions",
+        "replicas_stored",
+    )
+
     size: int
     success: bool
     utilization: float  # global utilization when the operation completed
@@ -26,17 +35,52 @@ class InsertEvent:
     replicas_stored: int  # total replicas created (k on success, else 0)
 
 
-@dataclass
 class LookupEvent:
-    """One client-level lookup operation."""
+    """One client-level lookup operation.
 
-    file_id: int
-    hops: int
-    success: bool
-    source: Optional[str]  # "primary" | "diverted" | "pointer" | "cache"
-    utilization: float
-    responder_id: Optional[int] = None  # node that served the request
-    distance: float = 0.0  # proximity-metric length of the route
+    Plain ``__slots__`` class rather than a dataclass: one event is
+    recorded per lookup, so the per-instance ``__dict__`` a defaulted
+    dataclass would carry is measurable overhead on large workloads.
+    """
+
+    __slots__ = (
+        "file_id",
+        "hops",
+        "success",
+        "source",
+        "utilization",
+        "responder_id",
+        "distance",
+    )
+
+    def __init__(
+        self,
+        file_id: int,
+        hops: int,
+        success: bool,
+        source: Optional[str],  # "primary" | "diverted" | "pointer" | "cache"
+        utilization: float,
+        responder_id: Optional[int] = None,  # node that served the request
+        distance: float = 0.0,  # proximity-metric length of the route
+    ) -> None:
+        self.file_id = file_id
+        self.hops = hops
+        self.success = success
+        self.source = source
+        self.utilization = utilization
+        self.responder_id = responder_id
+        self.distance = distance
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LookupEvent):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self.__slots__
+        )
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{n}={getattr(self, n)!r}" for n in self.__slots__)
+        return f"LookupEvent({fields})"
 
 
 @dataclass

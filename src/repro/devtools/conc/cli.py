@@ -1,0 +1,154 @@
+"""``repro-conc`` / ``python -m repro.devtools.conc`` — the conc front door.
+
+Runs the concurrency-readiness catalogue (atomicity, blocking,
+reentrancy, seam conformance) over the given paths and prints the
+findings plus per-module readiness verdicts for the engine-pure set.
+``--baseline`` / ``--write-baseline`` / ``--changed`` work exactly as in
+``repro-lint``: CI runs against the committed accepted-debt baseline
+(``benchmarks/conc_baseline.json``) and fails on any *new* finding, and
+separately requires ``--select conc-seam`` to be clean with no baseline
+at all.
+
+Exit status follows ``repro-lint``: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..framework import LintError, Rule, collect_modules, run_rules
+from ..lint import changed_files, finding_key, load_baseline, write_baseline
+from .analysis import get_conc_analysis
+from .report import readiness, render_readiness
+from .rules import conc_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-conc",
+        description=(
+            "Concurrency-safety analyzer: atomicity across suspension "
+            "points, blocking calls, reentrancy, and Transport-seam "
+            "conformance for the real-network execution plane."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule names to run (default: all conc rules)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the conc rules and exit",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="suppress findings recorded in FILE; report only new ones",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="record the current findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="analyze only files changed vs. git HEAD under the given paths",
+    )
+    parser.add_argument(
+        "--no-report", action="store_true",
+        help="omit the per-module readiness section",
+    )
+    return parser
+
+
+def _selected_rules(args: argparse.Namespace) -> List[Rule]:
+    rules = conc_rules()
+    by_name = {rule.name: rule for rule in rules}
+
+    def _lookup(name: str) -> Rule:
+        if name not in by_name:
+            known = ", ".join(sorted(by_name))
+            raise LintError(f"unknown rule {name!r} (known rules: {known})")
+        return by_name[name]
+
+    if args.select:
+        names = [n.strip() for n in args.select.split(",") if n.strip()]
+        rules = [_lookup(name) for name in names]
+    if args.ignore:
+        names = [n.strip() for n in args.ignore.split(",") if n.strip()]
+        dropped = {_lookup(name).name for name in names}
+        rules = [rule for rule in rules if rule.name not in dropped]
+    return rules
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        rules = _selected_rules(args)
+        if args.list_rules:
+            for rule in rules:
+                print(f"{rule.name}: {rule.description}")
+            return 0
+        paths: List[str] = args.paths
+        if args.changed:
+            paths = changed_files(paths)
+            if not paths:
+                print("no changed python files to analyze")
+                return 0
+        modules = collect_modules(paths)
+        findings = run_rules(modules, rules)
+        if args.write_baseline:
+            write_baseline(args.write_baseline, findings)
+            noun = "finding" if len(findings) == 1 else "findings"
+            print(f"baseline written: {len(findings)} {noun} recorded "
+                  f"in {args.write_baseline}")
+            return 0
+        new = findings
+        if args.baseline:
+            known = load_baseline(args.baseline)
+            new = [f for f in findings if finding_key(f) not in known]
+        table = None
+        if not args.no_report:
+            # Readiness is computed from the FULL finding set: the
+            # baseline governs the exit code, not a module's verdict.
+            table = readiness(modules, findings, get_conc_analysis(modules))
+        if args.format == "json":
+            payload = {
+                "findings": [f.to_dict() for f in new],
+                "count": len(new),
+                "baselined": len(findings) - len(new),
+            }
+            if table is not None:
+                payload["readiness"] = table
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for finding in new:
+                print(finding.render())
+            noun = "finding" if len(new) == 1 else "findings"
+            baselined = len(findings) - len(new)
+            suffix = f" ({baselined} baselined)" if baselined else ""
+            print(f"{len(new)} new {noun} in {len(modules)} modules{suffix}")
+            if table is not None:
+                for line in render_readiness(table):
+                    print(line)
+        return 1 if new else 0
+    except LintError as exc:
+        print(f"conc: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

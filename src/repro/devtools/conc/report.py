@@ -1,0 +1,94 @@
+"""Per-module concurrency-readiness verdicts.
+
+Three verdicts, derived from the *full* finding set (baselined findings
+still count — the baseline governs the CI exit code, not the module's
+actual readiness):
+
+* ``blocked`` — the module has seam or blocking findings.  Its logic is
+  structurally tied to the in-process emulator (or would stall a real
+  event loop) and cannot be lifted onto the real-network plane.
+* ``conditionally-ready`` — only atomicity/reentrancy findings remain.
+  The module runs on the real plane but carries interleaving hazards;
+  each one is enumerated accepted debt.
+* ``ready`` — no findings.  The module's handlers are atomic with
+  respect to every suspension point the analyzer can see.
+
+The report also lists, per public handler that reaches the transport,
+its transitive same-object write footprint — the state an interleaved
+activation could observe mid-update.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..framework import Finding, ModuleInfo
+from .analysis import ConcAnalysis
+from .rules import ENGINE_PURE_MODULES
+
+VERDICT_READY = "ready"
+VERDICT_CONDITIONAL = "conditionally-ready"
+VERDICT_BLOCKED = "blocked"
+
+#: Rules whose presence blocks a module outright.
+_BLOCKING_RULES = frozenset({"conc-seam", "conc-blocking"})
+#: Rules that downgrade a module to conditionally-ready.
+_HAZARD_RULES = frozenset({"conc-atomicity", "conc-reentrancy"})
+
+
+def readiness(
+    modules: Sequence[ModuleInfo],
+    findings: Sequence[Finding],
+    analysis: ConcAnalysis,
+) -> Dict[str, dict]:
+    """Verdict + handler footprints for every engine-pure module present."""
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    out: Dict[str, dict] = {}
+    for module in modules:
+        if module.name not in ENGINE_PURE_MODULES:
+            continue
+        own = by_path.get(module.path, [])
+        rules = {f.rule for f in own}
+        if rules & _BLOCKING_RULES:
+            verdict = VERDICT_BLOCKED
+        elif rules & _HAZARD_RULES:
+            verdict = VERDICT_CONDITIONAL
+        else:
+            verdict = VERDICT_READY
+        handlers = {}
+        for qual, facts in analysis.flow.facts.items():
+            info = facts.info
+            if info.module is not module or info.is_module_body:
+                continue
+            if info.name.startswith("_") or info.class_name is None:
+                continue
+            if qual not in analysis.suspending:
+                continue
+            short = qual[len(module.name) + 1:]
+            handlers[short] = analysis.footprint(qual)
+        out[module.name] = {
+            "verdict": verdict,
+            "findings": {
+                rule: sum(1 for f in own if f.rule == rule)
+                for rule in sorted(rules)
+            },
+            "suspending_handlers": {
+                name: handlers[name] for name in sorted(handlers)
+            },
+        }
+    return out
+
+
+def render_readiness(table: Dict[str, dict]) -> List[str]:
+    """Text lines for the readiness section of the CLI report."""
+    lines = ["", "concurrency readiness (engine-pure modules):"]
+    for name in sorted(table):
+        entry = table[name]
+        counts = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(entry["findings"].items())
+        )
+        suffix = f" ({counts})" if counts else ""
+        lines.append(f"  {entry['verdict']:<19} {name}{suffix}")
+    return lines

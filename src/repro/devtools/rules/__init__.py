@@ -42,16 +42,20 @@ def get_rules(
     ``ignore`` then removes rules from that selection.  Unknown names in
     either list raise :class:`LintError`.
 
-    The perf catalogue (``perf-*``, see :mod:`repro.devtools.perf`) is
-    resolvable by name but never part of the default set: perf findings
-    are tracked against their own committed baseline, not the
+    The perf catalogue (``perf-*``, see :mod:`repro.devtools.perf`) and
+    the conc catalogue (``conc-*``, see :mod:`repro.devtools.conc`) are
+    resolvable by name but never part of the default set: their findings
+    are tracked against their own committed baselines, not the
     correctness gate.
     """
+    from ..conc.rules import conc_rules
     from ..perf.rules import perf_rules
 
     rules = all_rules()
     by_name = {rule.name: rule for rule in rules}
     for rule in perf_rules():
+        by_name[rule.name] = rule
+    for rule in conc_rules():
         by_name[rule.name] = rule
 
     def _lookup(name: str) -> Rule:

@@ -25,11 +25,17 @@ from typing import Callable, Optional
 from .trace import ScheduleTrace, callback_label
 
 
+#: Files whose frames are skipped when attributing a schedule call to a
+#: source location: the simulator itself plus any delegation layer that
+#: registers here (the transport seam does), so trace diagnostics keep
+#: pointing at the node logic that asked for the timer.
+_INFRA_FILES = {__file__}
+
+
 def _call_site() -> str:
-    """``file.py:lineno`` of the nearest caller outside this module."""
-    own_file = __file__
+    """``file.py:lineno`` of the nearest caller outside the infrastructure."""
     frame = sys._getframe(1)
-    while frame is not None and frame.f_code.co_filename == own_file:
+    while frame is not None and frame.f_code.co_filename in _INFRA_FILES:
         frame = frame.f_back
     if frame is None:
         return "?"

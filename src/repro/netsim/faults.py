@@ -64,7 +64,6 @@ class Partition:
         return (a in self.group) != (b in self.group)
 
 
-@dataclass(frozen=True)
 class CrashEvent:
     """One silent crash (and optional restart) in a fault schedule.
 
@@ -72,23 +71,72 @@ class CrashEvent:
     simulation applies it (crash the node, wipe its disk, schedule the
     restart).  Keeping application out of this layer lets the same plan
     drive a Pastry-only overlay or a full PAST deployment.
+
+    Plain ``__slots__`` class: crash storms schedule one per node, so
+    instances are loop-allocated and should not carry a ``__dict__``.
     """
 
-    time: float
-    node_id: int
-    restart_at: Optional[float] = None
-    wipe_disk: bool = False
+    __slots__ = ("time", "node_id", "restart_at", "wipe_disk")
+
+    def __init__(
+        self,
+        time: float,
+        node_id: int,
+        restart_at: Optional[float] = None,
+        wipe_disk: bool = False,
+    ) -> None:
+        self.time = time
+        self.node_id = node_id
+        self.restart_at = restart_at
+        self.wipe_disk = wipe_disk
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CrashEvent):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self.__slots__
+        )
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{n}={getattr(self, n)!r}" for n in self.__slots__)
+        return f"CrashEvent({fields})"
 
 
-@dataclass(frozen=True)
 class Transmission:
-    """The plan's verdict on one message hop."""
+    """The plan's verdict on one message hop.
 
-    lost: bool = False
-    #: Virtual-time latency injected into this hop (0 when undelayed).
-    delay: float = 0.0
-    #: The receiver gets a second, independently-routed copy.
-    duplicate: bool = False
+    Plain ``__slots__`` class: one verdict is drawn per message hop —
+    the hottest allocation site in the whole emulator.
+    """
+
+    __slots__ = ("lost", "delay", "duplicate")
+
+    def __init__(
+        self,
+        lost: bool = False,
+        delay: float = 0.0,
+        duplicate: bool = False,
+    ) -> None:
+        self.lost = lost
+        #: Virtual-time latency injected into this hop (0 when undelayed).
+        self.delay = delay
+        #: The receiver gets a second, independently-routed copy.
+        self.duplicate = duplicate
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transmission):
+            return NotImplemented
+        return (
+            self.lost == other.lost
+            and self.delay == other.delay
+            and self.duplicate == other.duplicate
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Transmission(lost={self.lost!r}, delay={self.delay!r}, "
+            f"duplicate={self.duplicate!r})"
+        )
 
 
 #: Verdict singletons for the two common no-draw cases.

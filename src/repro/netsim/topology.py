@@ -21,22 +21,48 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 
-@dataclass(frozen=True)
 class Coordinate:
     """A point in the emulated network's metric space.
 
     ``cluster`` records which cluster the point was drawn from (if any),
     which lets workloads map trace sites onto co-located nodes.
+
+    Plain ``__slots__`` class: one coordinate is allocated per node at
+    placement time, so instances should not carry a ``__dict__``.
     """
 
-    x: float
-    y: float
-    z: float = 0.0
-    cluster: Optional[int] = None
+    __slots__ = ("x", "y", "z", "cluster")
+
+    def __init__(
+        self,
+        x: float,
+        y: float,
+        z: float = 0.0,
+        cluster: Optional[int] = None,
+    ) -> None:
+        self.x = x
+        self.y = y
+        self.z = z
+        self.cluster = cluster
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Coordinate):
+            return NotImplemented
+        return (
+            self.x == other.x
+            and self.y == other.y
+            and self.z == other.z
+            and self.cluster == other.cluster
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Coordinate(x={self.x!r}, y={self.y!r}, z={self.z!r}, "
+            f"cluster={self.cluster!r})"
+        )
 
 
 class Topology:

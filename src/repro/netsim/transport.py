@@ -1,0 +1,157 @@
+"""The simulator-backed implementation of the transport seam.
+
+:class:`SimTransport` is the single choke point through which node logic
+(``pastry.node``, ``pastry.keepalive``, ``core.node``, ``core.integrity``)
+reaches *time* (clock reads, timers) and the *network* (routed messages,
+direct RPCs, keep-alive probes).  Everything above the seam sees only the
+:class:`~repro.core.transport.Transport` interface; everything below it —
+the :class:`~repro.netsim.eventsim.EventSimulator`, the overlay's routing
+engine, the fault plane — is an engine detail that an
+``AsyncioTransport`` can replace without touching node logic.
+
+Design constraints, in force because four ScheduleTrace digest pins and
+four benchmark outcome checksums must stay byte-identical across the
+seam extraction:
+
+* callbacks pass through *unwrapped*: timer and schedule delegation hand
+  the caller's callable straight to the simulator, so trace labels
+  (callback ``__qualname__``\\ s) do not change;
+* :meth:`send` draws from the fault plan exactly when the pre-seam code
+  did: ``reliable=True`` models the RPCs that never consulted
+  ``rpc_lost`` (synchronous pulls whose loss story predates the fault
+  plane), and ``call=None`` models an RPC issued to a node already known
+  dead — accounted, but undeliverable without a loss draw;
+* :meth:`probe` consults ``probe_lost`` without recording an RPC,
+  matching the keep-alive plane's original accounting.
+
+The ``overlay`` is duck-typed: anything with ``route``, ``stats`` and
+``fault_plan`` works (both :class:`~repro.pastry.network.PastryNetwork`
+and wrappers around it), so this module needs no upward imports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from .eventsim import _INFRA_FILES, EventHandle, EventSimulator, PeriodicTimer
+
+# Scheduling calls funnel through this module; trace diagnostics must
+# keep attributing schedules to the node logic that asked for them.
+_INFRA_FILES.add(__file__)
+
+
+class SimTransport:
+    """Transport seam bound to an :class:`EventSimulator` and an overlay.
+
+    Either half may be absent: a transport built only for timers
+    (``overlay=None``) raises on message operations, and one built only
+    for messaging (``sim=None``) raises on clock/timer operations.  The
+    emulator's synchronous assembly uses the latter; the virtual-time
+    experiment harnesses bind both.
+    """
+
+    __slots__ = ("sim", "overlay")
+
+    def __init__(
+        self,
+        sim: Optional[EventSimulator] = None,
+        overlay: Optional[Any] = None,
+    ):
+        self.sim = sim
+        self.overlay = overlay
+
+    # ----------------------------------------------------------------- time
+
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._sim().now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` after ``delay`` time units."""
+        return self._sim().schedule(delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at absolute time ``when``."""
+        return self._sim().schedule_at(when, callback)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a scheduled callback (no-op if it already ran)."""
+        self._sim().cancel(handle)
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        jitter_fn: Optional[Callable[[], float]] = None,
+        first_delay: Optional[float] = None,
+    ) -> PeriodicTimer:
+        """Run ``callback`` every ``period`` units until stopped."""
+        return self._sim().every(
+            period, callback, jitter_fn=jitter_fn, first_delay=first_delay
+        )
+
+    # ------------------------------------------------------------- messages
+
+    def route(self, origin_id: int, key: int, message=None,
+              collect_distance: bool = False):
+        """Route ``message`` from ``origin_id`` towards ``key``."""
+        return self._overlay().route(
+            origin_id, key, message=message, collect_distance=collect_distance
+        )
+
+    def send(
+        self,
+        origin_id: int,
+        target_id: int,
+        call: Optional[Callable[..., Any]],
+        *args: Any,
+        reliable: bool = False,
+        **kwargs: Any,
+    ) -> Tuple[bool, Any]:
+        """One direct (non-routed) RPC from ``origin_id`` to ``target_id``.
+
+        Returns ``(delivered, result)``.  The RPC is always accounted;
+        ``call=None`` means the caller already knows the target is
+        unreachable (the RPC goes out and times out — no loss draw), and
+        ``reliable=True`` skips the fault-plane consult for RPCs whose
+        delivery the caller retries at a higher level.
+        """
+        overlay = self._overlay()
+        overlay.stats.record_rpc()
+        if call is None:
+            return False, None
+        if not reliable:
+            plan = overlay.fault_plan
+            if plan is not None and plan.rpc_lost(origin_id, target_id):
+                return False, None
+        return True, call(*args, **kwargs)
+
+    def probe(self, origin_id: int, peer_id: int) -> bool:
+        """One keep-alive probe; True iff the answer came back."""
+        plan = self._overlay().fault_plan
+        return plan is None or not plan.probe_lost(origin_id, peer_id)
+
+    # -------------------------------------------------------------- plumbing
+
+    def _sim(self) -> EventSimulator:
+        if self.sim is None:
+            raise RuntimeError("transport has no clock: built without a simulator")
+        return self.sim
+
+    def _overlay(self) -> Any:
+        if self.overlay is None:
+            raise RuntimeError("transport has no overlay: built without a network")
+        return self.overlay
+
+
+def as_transport(sim_or_transport: Any, overlay: Any) -> Any:
+    """Normalize a constructor argument to a transport.
+
+    Existing harnesses pass a raw :class:`EventSimulator`; new callers
+    may pass any transport.  The discriminator is the seam's own
+    signature: a transport's ``now`` is a method, a simulator's ``now``
+    is a plain float attribute.
+    """
+    if callable(getattr(sim_or_transport, "now", None)):
+        return sim_or_transport
+    return SimTransport(sim_or_transport, overlay)

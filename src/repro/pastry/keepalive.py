@@ -34,16 +34,23 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Set, Tuple
 
-from ..netsim.eventsim import EventSimulator
+from ..netsim.transport import as_transport
 from .network import PastryNetwork
 
 
 class KeepAliveMonitor:
-    """Periodic leaf-set keep-alives with timeout-based failure detection."""
+    """Periodic leaf-set keep-alives with timeout-based failure detection.
+
+    ``sim`` may be a raw :class:`~repro.netsim.eventsim.EventSimulator`
+    (the historical signature; it is wrapped in a
+    :class:`~repro.netsim.transport.SimTransport` over ``pastry``) or
+    any :class:`~repro.core.transport.Transport`.  All clock reads,
+    timers and probes go through the seam.
+    """
 
     def __init__(
         self,
-        sim: EventSimulator,
+        sim,
         pastry: PastryNetwork,
         on_detect: Callable[[int], None],
         interval: float = 1.0,
@@ -51,7 +58,7 @@ class KeepAliveMonitor:
     ):
         if interval <= 0 or timeout <= 0:
             raise ValueError("interval and timeout must be positive")
-        self.sim = sim
+        self.transport = as_transport(sim, pastry)
         self.pastry = pastry
         self.on_detect = on_detect
         self.interval = interval
@@ -87,10 +94,10 @@ class KeepAliveMonitor:
             return
         node = self.pastry.get_live(node_id)
         if node is not None:
-            now = self.sim.now
+            now = self.transport.now()
             for peer_id in node.leafset.sorted_members():
                 self._record_heard(node_id, peer_id, now)
-        self._timers[node_id] = self.sim.every(
+        self._timers[node_id] = self.transport.every(
             self.interval, lambda nid=node_id: self._probe_round(nid)
         )
 
@@ -149,27 +156,39 @@ class KeepAliveMonitor:
             # The observer itself crashed; its timer dies with it.
             self.unwatch(observer_id)
             return
-        now = self.sim.now
-        plan = self.pastry.fault_plan
         # Sorted: on_detect can trigger repairs, so detection order within
         # a probe round must not depend on set iteration order.
+        #
+        # Each probe is a suspension point under a concurrent transport,
+        # so the clock is re-read after every probe and every write to the
+        # monitor's state re-checks it first: an unwatch() interleaved
+        # mid-round must not have its cleanup silently resurrected by a
+        # probe answer that was already in flight.
         for peer_id in observer.leafset.sorted_members():
             self.probes_sent += 1
             if self.pastry.is_live(peer_id):
-                if plan is None or not plan.probe_lost(observer_id, peer_id):
-                    self._record_heard(observer_id, peer_id, now)
+                if self.transport.probe(observer_id, peer_id):
+                    now = self.transport.now()
+                    if (
+                        (observer_id, peer_id) in self.last_heard
+                        or observer_id in self._timers
+                    ):
+                        self._record_heard(observer_id, peer_id, now)
                     # A live answer refutes an earlier (loss-induced)
                     # presumption of failure: the peer is re-detectable.
-                    self.detected.discard(peer_id)
+                    if peer_id in self.detected:
+                        self.detected.discard(peer_id)
                     continue
                 # The probe (or its reply) was lost: to the observer this
                 # round is indistinguishable from a dead peer.
-            last = self.last_heard.get((observer_id, peer_id))
-            if last is None:
+            now = self.transport.now()
+            if (observer_id, peer_id) not in self.last_heard:
                 # A peer that entered the leaf set after watch() and has
                 # never answered: its window starts now.
-                self._record_heard(observer_id, peer_id, now)
+                if observer_id in self._timers:
+                    self._record_heard(observer_id, peer_id, now)
                 continue
+            last = self.last_heard[(observer_id, peer_id)]
             if now - last >= self.timeout and peer_id not in self.detected:
                 # Presumed failed: the witness's keep-alives went
                 # unanswered for T.  Fire detection exactly once.

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional
 from ..netsim import MessageStats, TorusTopology
 from ..netsim.faults import FaultPlan
 from ..netsim.topology import Topology
+from ..netsim.transport import SimTransport
 from . import idspace
 from .node import PastryNode
 
@@ -130,6 +131,10 @@ class PastryNetwork:
         #: fault plane at all.
         self.fault_plan: Optional[FaultPlan] = None
         self.stats = MessageStats()
+        #: Transport seam (messaging half) for the overlay's own node
+        #: logic: the direct RPCs in :class:`~repro.pastry.node.PastryNode`
+        #: go through it rather than touching stats/fault plumbing.
+        self.transport = SimTransport(None, self)
         #: When not None, :meth:`route` appends a :class:`DeliveryRecord`
         #: per message.  Off by default: routing itself must never read
         #: it, and the oracle lookup it triggers costs a bisect per route.

@@ -201,8 +201,11 @@ class PastryNode:
                 if donor is None:
                     continue
                 pulls += 1
-                self.network.stats.record_rpc()
-                for member in donor.leafset.sorted_members():
+                _, donor_members = self.network.transport.send(
+                    self.node_id, donor_id, donor.leafset.sorted_members,
+                    reliable=True,
+                )
+                for member in donor_members:
                     if self.network.is_live(member):
                         self.leafset.add(member)
             if self.leafset.members() == before:
@@ -333,8 +336,10 @@ class PastryNode:
                 if donor_id is None or not self.network.is_live(donor_id):
                     continue
                 donor = self.network.get_live(donor_id)
-                self.network.stats.record_rpc()
-                candidate = donor.routing_table.entry(row, col)
+                _, candidate = self.network.transport.send(
+                    self.node_id, donor_id, donor.routing_table.entry, row, col,
+                    reliable=True,
+                )
                 if (
                     candidate is not None
                     and candidate != self.node_id

@@ -1,0 +1,201 @@
+"""Behavior regression tests for the shipped concurrency-safety fixes.
+
+Each test interposes on the Transport seam to make an RPC *actually
+interleave* with a state change — the situation the simulator's
+run-to-completion semantics never produces but a real network does —
+and asserts the repaired handler re-checks its world instead of acting
+on the stale pre-RPC view.  The static side of the same contract (the
+analyzer finding these paths clean) is pinned in
+``tests/devtools/test_conc.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import AntiEntropyScrubber
+from repro.netsim.eventsim import EventSimulator
+from repro.pastry import idspace
+from repro.pastry.keepalive import KeepAliveMonitor
+from tests.conftest import build_past, build_pastry
+
+
+class InterposedTransport:
+    """Wrap a Transport, running a hook before selected calls.
+
+    This is what a concurrent execution plane does for free: between the
+    moment a handler issues an RPC and the moment the reply arrives,
+    arbitrary other handlers run.  The hook plays those other handlers.
+    """
+
+    def __init__(self, inner, on_send=None, on_probe=None):
+        self._inner = inner
+        self._on_send = on_send
+        self._on_probe = on_probe
+
+    def send(self, origin_id, target_id, call, *args, **kwargs):
+        if self._on_send is not None:
+            self._on_send(origin_id, target_id, call)
+        return self._inner.send(origin_id, target_id, call, *args, **kwargs)
+
+    def probe(self, origin_id, peer_id):
+        if self._on_probe is not None:
+            self._on_probe(origin_id, peer_id)
+        return self._inner.probe(origin_id, peer_id)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def build_loaded(n=16, n_files=4, seed=70, k=3):
+    net = build_past(n, k=k, l=8, seed=seed, cache_policy="none")
+    owner = net.create_client("conc-owner")
+    rng = random.Random(seed)
+    node_ids = [node.node_id for node in net.nodes()]
+    fids = []
+    for i in range(n_files):
+        res = net.insert(f"conc{i}", owner, 20_000,
+                         node_ids[rng.randrange(len(node_ids))])
+        assert res.success
+        fids.append(res.file_id)
+    return net, fids
+
+
+def holders_of(net, fid):
+    cert = net.certificate_of(fid)
+    kset = net.pastry.k_closest_live(idspace.routing_key(fid), cert.k)
+    return [
+        net.past_node_or_none(m) for m in kset
+        if net.past_node_or_none(m) is not None
+        and net.past_node_or_none(m).store.holds_file(fid)
+    ]
+
+
+class TestReadRepairConfirmReread:
+    def test_replica_reclaimed_during_donor_search_aborts_repair(self):
+        """A reclaim that lands while the donor RPC is in flight must not
+        be undone: repairing a replica we no longer hold would resurrect
+        freed storage."""
+        net, fids = build_loaded()
+        fid = fids[0]
+        victim = holders_of(net, fid)[0]
+        victim.store.get_replica(fid).corrupted = True
+
+        state = {"fired": False}
+
+        def drop_mid_rpc(_origin, _target, _call):
+            # First donor-probe RPC: an interleaved reclaim retires the
+            # victim's own copy while the verdict is in flight.
+            if not state["fired"]:
+                state["fired"] = True
+                victim.drop_pointer_and_deref(fid)
+                victim.store.drop_replica(fid)
+
+        net.transport = InterposedTransport(net.transport, on_send=drop_mid_rpc)
+        assert victim.read_repair(fid) is False
+        assert state["fired"], "donor search issued no RPC"
+        # The stale pre-RPC replica handle was not written back.
+        assert not victim.store.holds_file(fid)
+        assert net.integrity.read_repairs == 0
+
+    def test_repair_still_works_when_nothing_interleaves(self):
+        net, fids = build_loaded()
+        fid = fids[0]
+        victim = holders_of(net, fid)[0]
+        victim.store.get_replica(fid).corrupted = True
+        net.transport = InterposedTransport(net.transport)
+        assert victim.read_repair(fid) is True
+        assert not victim.store.get_replica(fid).corrupted
+        assert net.integrity.read_repairs == 1
+
+
+class TestScrubberConfirmReread:
+    def test_entry_retired_during_digest_exchange_skips_repair(self):
+        """If the scrubbing node's own entry is retired while a member
+        digest RPC is in flight, the repair duty belongs to the file's
+        current replica set — not to this node's stale view."""
+        net, fids = build_loaded()
+        fid = fids[0]
+        holders = holders_of(net, fid)
+        node, peer = holders[0], holders[1]
+        cert = node.store.certificate_for(fid)
+        assert cert is not None
+        # A live member with no entry at all: marks the file for repair.
+        peer.drop_pointer_and_deref(fid)
+        peer.store.drop_replica(fid)
+
+        state = {"fired": False}
+
+        def retire_mid_rpc(_origin, _target, _call):
+            if not state["fired"]:
+                state["fired"] = True
+                node.drop_pointer_and_deref(fid)
+                node.store.drop_replica(fid)
+
+        net.transport = InterposedTransport(net.transport, on_send=retire_mid_rpc)
+        scrubber = AntiEntropyScrubber(EventSimulator(), net, interval=1.0)
+        scrubber._exchange_digests(node, fid, cert)
+        assert state["fired"], "digest exchange issued no RPC"
+        assert net.integrity.scrub_missing_found == 0
+
+    def test_repair_requested_when_entry_survives(self):
+        net, fids = build_loaded()
+        fid = fids[0]
+        holders = holders_of(net, fid)
+        node, peer = holders[0], holders[1]
+        cert = node.store.certificate_for(fid)
+        peer.drop_pointer_and_deref(fid)
+        peer.store.drop_replica(fid)
+        net.transport = InterposedTransport(net.transport)
+        scrubber = AntiEntropyScrubber(EventSimulator(), net, interval=1.0)
+        scrubber._exchange_digests(node, fid, cert)
+        assert net.integrity.scrub_missing_found == 1
+
+
+class TestProbeRoundConfirmReread:
+    def make(self, n=12, seed=81):
+        net = build_pastry(n, l=8, seed=seed)
+        sim = EventSimulator()
+        detected = []
+        monitor = KeepAliveMonitor(
+            sim, net, on_detect=detected.append, interval=1.0, timeout=3.0
+        )
+        monitor.start()
+        return net, sim, monitor, detected
+
+    def test_unwatch_during_probe_is_not_resurrected(self):
+        """An unwatch() interleaved mid-round must stay clean: a probe
+        answer already in flight must not re-create observer-side
+        ``last_heard`` state for a node that stopped observing."""
+        net, sim, monitor, _detected = self.make()
+        observer_id = net.node_ids[0]
+
+        state = {"fired": False}
+
+        def unwatch_mid_probe(origin_id, _peer):
+            if not state["fired"] and origin_id == observer_id:
+                state["fired"] = True
+                monitor.unwatch(observer_id)
+
+        monitor.transport = InterposedTransport(
+            monitor.transport, on_probe=unwatch_mid_probe
+        )
+        monitor._probe_round(observer_id)
+        assert state["fired"], "probe round issued no probe"
+        assert observer_id not in monitor._timers
+        stale = [key for key in monitor.last_heard if key[0] == observer_id]
+        assert stale == [], (
+            "probe answers in flight resurrected unwatched state"
+        )
+        assert observer_id not in monitor._peers_of
+
+    def test_round_still_records_liveness_when_watched(self):
+        net, sim, monitor, _detected = self.make()
+        observer_id = net.node_ids[0]
+        monitor.transport = InterposedTransport(monitor.transport)
+        before = dict(monitor.last_heard)
+        sim.run_until(1.5)  # one full probe round through the wrapper
+        monitor._probe_round(observer_id)
+        peers = [key for key in monitor.last_heard if key[0] == observer_id]
+        assert peers, "watched observer recorded no liveness"
+        assert monitor.last_heard != before or monitor.probes_sent > 0

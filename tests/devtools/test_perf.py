@@ -270,3 +270,36 @@ class TestRealTree:
         accepted = load_baseline("benchmarks/perf_baseline.json")
         new = [f for f in found if finding_key(f) not in accepted]
         assert new == [], [f"{f.path}:{f.line} {f.rule}" for f in new]
+
+
+class TestCliBaselineRoundTrip:
+    def test_write_then_gate_exits_clean(self, monkeypatch, tmp_path):
+        """``--write-baseline`` followed by ``--baseline`` on the same
+        tree must gate clean: the written file accepts exactly the
+        findings the analyzer currently emits."""
+        from pathlib import Path
+
+        from repro.devtools.perf.cli import main
+
+        root = Path(__file__).resolve().parents[2]
+        monkeypatch.chdir(root)
+        baseline = tmp_path / "perf_baseline.json"
+        assert main(["--write-baseline", str(baseline), "src"]) == 0
+        assert baseline.exists()
+        assert main(["--baseline", str(baseline), "src"]) == 0
+
+    def test_written_baseline_matches_committed(self, monkeypatch, tmp_path):
+        """Regenerating the baseline from the committed tree reproduces
+        the committed baseline — the debt file is never stale."""
+        import json
+        from pathlib import Path
+
+        from repro.devtools.perf.cli import main
+
+        root = Path(__file__).resolve().parents[2]
+        monkeypatch.chdir(root)
+        fresh = tmp_path / "fresh.json"
+        assert main(["--write-baseline", str(fresh), "src"]) == 0
+        committed = json.loads(Path("benchmarks/perf_baseline.json").read_text())
+        regenerated = json.loads(fresh.read_text())
+        assert regenerated == committed

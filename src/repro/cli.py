@@ -10,6 +10,7 @@ Usage::
     python -m repro availability
     python -m repro churn
     python -m repro chaos
+    python -m repro serve --nodes 16 --workers 4 --differential
 
 Every command prints the same paper-vs-measured report the benchmark
 suite produces.
@@ -266,9 +267,58 @@ def cmd_chaos(args) -> str:
     )
 
 
+def cmd_serve(args) -> str:
+    """Boot a real asyncio-TCP cluster and serve insert/lookup traffic.
+
+    Every RPC and routed message crosses a localhost socket through the
+    schema-certified wire codec (see ``python -m repro.devtools.wire``).
+    ``--differential`` first runs the cross-engine oracle: the same
+    seeded workload under SimTransport must produce the same outcome
+    checksum as under AsyncioTransport.
+    """
+    import json
+
+    from .net.differential import run_differential, run_serve
+
+    lines = []
+    if args.differential:
+        diff = run_differential(
+            n_nodes=min(args.nodes, 16), n_files=args.files, seed=args.seed
+        )
+        status = "MATCH" if diff["equal"] else "MISMATCH"
+        lines.append(f"differential oracle: {status}")
+        lines.append(f"  sim     {diff['sim']}")
+        lines.append(f"  asyncio {diff['asyncio']}")
+        if not diff["equal"]:
+            return "\n".join(lines)
+    bench = run_serve(
+        n_nodes=args.nodes, n_files=args.files, seed=args.seed,
+        workers=args.workers,
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(bench, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        lines.append(f"bench written to {args.out}")
+    timing = bench["timing"]
+    lines.append(
+        f"served {bench['ops']} ops on {bench['nodes']} nodes "
+        f"({bench['workers']} client threads): "
+        f"{timing['ops_per_sec']} ops/s, wall {timing['wall_s']}s, "
+        f"peak RSS {timing['peak_rss_kb']} kB"
+    )
+    lines.append(
+        f"lookup failures: {bench['lookup_failures']}  "
+        f"audit violations: {bench['audit_violations']}"
+    )
+    lines.append(f"outcome checksum: {bench['checksum']}")
+    return "\n".join(lines)
+
+
 COMMANDS = {
     "baseline": cmd_baseline,
     "chaos": cmd_chaos,
+    "serve": cmd_serve,
     "recovery": cmd_recovery,
     "locality": cmd_locality,
     "security": cmd_security,
@@ -296,6 +346,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", type=float, default=0.25,
                         help="node-capacity scale relative to Table 1")
     parser.add_argument("--seed", type=int, default=42)
+    serve = parser.add_argument_group("serve options")
+    serve.add_argument("--files", type=int, default=32,
+                       help="files to insert in the serve workload")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="concurrent client threads for the lookup phase")
+    serve.add_argument("--differential", action="store_true",
+                       help="run the SimTransport-vs-AsyncioTransport "
+                            "oracle before serving")
+    serve.add_argument("--out", metavar="FILE", default=None,
+                       help="write the BENCH-style serve record to FILE")
     return parser
 
 

@@ -775,6 +775,11 @@ class PastNetwork:
     def _reconcile_recovered(self, node: PastNode) -> None:
         """Drop state invalidated while the node was down."""
         for fid in list(node.store.file_ids()):
+            # Confirm-reread: the repair paths below suspend at their
+            # RPCs, and an interleaved repair can retire this entry
+            # while a previous iteration's call is in flight.
+            if fid not in node.store.file_ids():
+                continue
             if fid in self._reclaimed or fid not in self._registry:
                 node.store.drop_pointer(fid)
                 node.store.drop_replica(fid)
@@ -785,14 +790,24 @@ class PastNetwork:
                 if target is None or not target.store.holds_file(fid):
                     node.on_diverted_target_failed(fid)
                 else:
-                    # Re-establish the keep-alive pair dropped at failure.
+                    # Re-establish the keep-alive pair dropped at failure
+                    # (idempotent: skip referrers that are already back).
                     replica = target.store.get_replica(fid)
-                    replica.referrers.add(node.node_id)
+                    if node.node_id not in replica.referrers:
+                        replica.referrers.add(node.node_id)
         for fid in list(node.store.primaries):
+            if fid not in node.store.primaries:
+                # Confirm-reread: maybe_discard() suspends at its
+                # pointer-rebind RPCs; the primary may already be gone.
+                continue
             node.maybe_discard(fid)
         # Stale on-disk entries may now duplicate entries created while the
         # node was down; have each file's replica set re-check itself.
         for fid in list(node.store.file_ids()):
+            # Confirm-reread: request_repair() suspends once per member;
+            # skip entries an interleaved repair already retired.
+            if fid not in node.store.file_ids():
+                continue
             node.request_repair(fid)
 
     def run_migration(self, rounds: int = 1) -> int:

@@ -326,7 +326,7 @@ class PastNode(PastryApplication):
             # clobber it with a backup pointer.
             return
         self.network.transport.send(
-            self.node_id, c_id, c_node.store.add_pointer, cert, b_id,
+            self.node_id, c_id, c_node.store.install_pointer, cert, b_id,
             reliable=True, primary=False,
         )
         replica = b_node.store.diverted_in.get(cert.file_id)
@@ -558,10 +558,17 @@ class PastNode(PastryApplication):
             # A lost repair RPC leaves this member with its stale entry
             # for now; the file is flagged degraded so a later
             # maintenance pass (or repair_all at quiescence) finishes
-            # the job.
+            # the job.  The join-time shortcut target is resolved on the
+            # coordinator (it is a pure read of the coordinator's leaf
+            # set) so only wire-safe values cross the seam.
+            is_newcomer = member_id == newcomer_id
+            displaced_id = (
+                self._displaced_member(key, kset, member_id, cert.k)
+                if is_newcomer else None
+            )
             delivered, repaired = self.network.transport.send(
-                self.node_id, member_id, self._apply_member_repair,
-                member, member_id, fid, cert, key, kset, newcomer_id, seen,
+                self.node_id, member_id, member.apply_member_repair,
+                fid, cert, displaced_id, is_newcomer, seen,
             )
             if not delivered or not repaired:
                 all_ok = False
@@ -570,32 +577,31 @@ class PastNode(PastryApplication):
         else:
             self.network.note_degraded_file(fid)
 
-    def _apply_member_repair(
+    def apply_member_repair(
         self,
-        member: "PastNode",
-        member_id: int,
         fid: int,
         cert: FileCertificate,
-        key: int,
-        kset: List[int],
-        newcomer_id: Optional[int],
+        displaced_id: Optional[int],
+        is_newcomer: bool,
         seen: Set[int],
     ) -> bool:
         """The member-side body of one §3.5 repair RPC.
 
-        Drops the member's stale entry, offers the join-time pointer
-        shortcut to a newcomer, and otherwise has the member re-acquire
-        a real replica.  Returns True when the member ends up with a
-        usable entry.
+        Drops this node's stale entry, takes the join-time pointer
+        shortcut when the coordinator offers one (it names the displaced
+        holder directly), and otherwise re-acquires a real replica.
+        ``seen`` is the coordinator's set of already-resolved physical
+        replicas, extended in place so later repairs in the same pass
+        avoid the same target.  Returns True when this node ends up
+        with a usable entry.
         """
-        member.drop_pointer_and_deref(fid)
-        if member_id == newcomer_id:
-            displaced = self._displaced_member(key, kset, member_id, cert.k)
-            if member.receive_join_offer(cert, displaced, forbidden_targets=seen):
-                seen.add(member.store.pointers[fid].target_id
-                         if fid in member.store.pointers else member_id)
+        self.drop_pointer_and_deref(fid)
+        if is_newcomer:
+            if self.receive_join_offer(cert, displaced_id, forbidden_targets=seen):
+                seen.add(self.store.pointers[fid].target_id
+                         if fid in self.store.pointers else self.node_id)
                 return True
-        return member.replicate_file(cert)
+        return self.replicate_file(cert)
 
     def request_repair(self, fid: int) -> None:
         """Ask every current kset member to re-check the file's invariant.
@@ -928,12 +934,12 @@ class PastNode(PastryApplication):
                 continue
             self.store.drop_pointer(fid)
             self.store.store_replica(cert, diverted=False)
-            _, dropped = self.network.transport.send(
-                self.node_id, pointer.target_id, target.store.drop_replica,
-                fid, reliable=True,
+            _, dropped_referrers = self.network.transport.send(
+                self.node_id, pointer.target_id,
+                target.store.drop_replica_referrers, fid, reliable=True,
             )
-            if dropped is not None:
-                for ref in sorted(dropped.referrers):
+            if dropped_referrers is not None:
+                for ref in dropped_referrers:
                     if ref == self.node_id:
                         continue
                     ref_node = self.network.past_node_or_none(ref)

@@ -254,6 +254,19 @@ class LocalStore:
             self._charge(-replica.size)
         return replica
 
+    def drop_replica_referrers(self, file_id: int) -> Optional[List[int]]:
+        """Wire-safe form of :meth:`drop_replica` for remote callers.
+
+        Returns the dropped replica's referrers as a sorted list — the
+        only piece a remote caller needs for pointer teardown — or None
+        when no replica was present.  A live :class:`StoredReplica`
+        must never cross the seam.
+        """
+        replica = self.drop_replica(file_id)
+        if replica is None:
+            return None
+        return sorted(replica.referrers)
+
     def get_replica(self, file_id: int) -> Optional[StoredReplica]:
         return self.primaries.get(file_id) or self.diverted_in.get(file_id)
 
@@ -349,6 +362,17 @@ class LocalStore:
         pointer = DiversionPointer(certificate, target_id, primary=primary)
         self.pointers[certificate.file_id] = pointer
         return pointer
+
+    def install_pointer(
+        self, certificate: FileCertificate, target_id: int, primary: bool
+    ) -> None:
+        """Wire-safe form of :meth:`add_pointer` for remote callers.
+
+        Remote nodes install backup pointers over the transport; a live
+        :class:`DiversionPointer` must never cross the seam, so this
+        wrapper installs the entry and returns nothing.
+        """
+        self.add_pointer(certificate, target_id, primary=primary)
 
     def drop_pointer(self, file_id: int) -> Optional[DiversionPointer]:
         return self.pointers.pop(file_id, None)

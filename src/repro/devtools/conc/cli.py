@@ -19,8 +19,16 @@ import json
 import sys
 from typing import List, Optional
 
-from ..framework import LintError, Rule, collect_modules, run_rules
-from ..lint import changed_files, finding_key, load_baseline, write_baseline
+from ..framework import (
+    LintError,
+    add_catalogue_arguments,
+    collect_modules,
+    filter_baselined,
+    narrow_to_changed,
+    record_baseline,
+    resolve_rules,
+    run_rules,
+)
 from .analysis import get_conc_analysis
 from .report import readiness, render_readiness
 from .rules import conc_rules
@@ -35,38 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
             "conformance for the real-network execution plane."
         ),
     )
-    parser.add_argument(
-        "paths", nargs="*", default=["src"],
-        help="files or directories to analyze (default: src)",
-    )
-    parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
-    )
-    parser.add_argument(
-        "--select", metavar="RULES",
-        help="comma-separated rule names to run (default: all conc rules)",
-    )
-    parser.add_argument(
-        "--ignore", metavar="RULES",
-        help="comma-separated rule names to skip",
-    )
-    parser.add_argument(
-        "--list-rules", action="store_true",
-        help="list the conc rules and exit",
-    )
-    parser.add_argument(
-        "--baseline", metavar="FILE",
-        help="suppress findings recorded in FILE; report only new ones",
-    )
-    parser.add_argument(
-        "--write-baseline", metavar="FILE",
-        help="record the current findings to FILE and exit 0",
-    )
-    parser.add_argument(
-        "--changed", action="store_true",
-        help="analyze only files changed vs. git HEAD under the given paths",
-    )
+    add_catalogue_arguments(parser, family="analyze")
     parser.add_argument(
         "--no-report", action="store_true",
         help="omit the per-module readiness section",
@@ -74,52 +51,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _selected_rules(args: argparse.Namespace) -> List[Rule]:
-    rules = conc_rules()
-    by_name = {rule.name: rule for rule in rules}
-
-    def _lookup(name: str) -> Rule:
-        if name not in by_name:
-            known = ", ".join(sorted(by_name))
-            raise LintError(f"unknown rule {name!r} (known rules: {known})")
-        return by_name[name]
-
-    if args.select:
-        names = [n.strip() for n in args.select.split(",") if n.strip()]
-        rules = [_lookup(name) for name in names]
-    if args.ignore:
-        names = [n.strip() for n in args.ignore.split(",") if n.strip()]
-        dropped = {_lookup(name).name for name in names}
-        rules = [rule for rule in rules if rule.name not in dropped]
-    return rules
-
-
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        rules = _selected_rules(args)
+        rules = resolve_rules(conc_rules(), args.select, args.ignore)
         if args.list_rules:
             for rule in rules:
                 print(f"{rule.name}: {rule.description}")
             return 0
-        paths: List[str] = args.paths
-        if args.changed:
-            paths = changed_files(paths)
-            if not paths:
-                print("no changed python files to analyze")
-                return 0
+        paths: Optional[List[str]] = narrow_to_changed(args.paths, args.changed)
+        if paths is None:
+            print("no changed python files to analyze")
+            return 0
         modules = collect_modules(paths)
         findings = run_rules(modules, rules)
         if args.write_baseline:
-            write_baseline(args.write_baseline, findings)
-            noun = "finding" if len(findings) == 1 else "findings"
-            print(f"baseline written: {len(findings)} {noun} recorded "
-                  f"in {args.write_baseline}")
+            print(record_baseline(args.write_baseline, findings))
             return 0
-        new = findings
-        if args.baseline:
-            known = load_baseline(args.baseline)
-            new = [f for f in findings if finding_key(f) not in known]
+        new, _ = filter_baselined(findings, args.baseline)
         table = None
         if not args.no_report:
             # Readiness is computed from the FULL finding set: the

@@ -58,9 +58,31 @@ _BLOCKING_CALLS = {
 #: (disk access must go through the storage abstraction).
 _NO_FILE_IO_SUBPACKAGES = ("pastry", "core")
 
+#: Packages *below* the Transport seam, excluded from the whole conc
+#: catalogue.  ``repro.net`` is the real-network execution plane: it
+#: owns actual sockets, executor threads and per-node locks, so its
+#: concurrency is managed with OS primitives the static suspension
+#: model cannot reason about — the same rationale that keeps
+#: ``repro.core.network``/``repro.pastry.network`` (the in-process
+#: emulator) out of ``ENGINE_PURE_MODULES``.  The catalogue certifies
+#: engine logic *above* the seam; the plane below it is validated by
+#: the cross-engine differential oracle instead.
+BELOW_SEAM_PACKAGES = ("repro.net",)
+
 
 def _is_engine_pure(module: ModuleInfo) -> bool:
     return module.name in ENGINE_PURE_MODULES
+
+
+def _is_below_seam(module: ModuleInfo) -> bool:
+    return any(
+        module.name == pkg or module.name.startswith(pkg + ".")
+        for pkg in BELOW_SEAM_PACKAGES
+    )
+
+
+def _above_seam(modules: Sequence[ModuleInfo]) -> List[ModuleInfo]:
+    return [m for m in modules if not _is_below_seam(m)]
 
 
 class ConcAtomicityRule(ProjectRule):
@@ -74,7 +96,11 @@ class ConcAtomicityRule(ProjectRule):
     )
 
     def check_project(self, modules: Sequence[ModuleInfo]) -> Iterator[Finding]:
-        analysis = get_conc_analysis(modules)
+        # Below-seam modules are dropped *before* analysis: leaving them
+        # in would let the name-based call graph thread engine cycles
+        # through the transport implementation's own send/route/dispatch
+        # methods, manufacturing hazards that cannot occur above the seam.
+        analysis = get_conc_analysis(_above_seam(modules))
         for hazard in analysis.hazards:
             yield Finding(
                 rule=self.name,
@@ -99,6 +125,8 @@ class ConcBlockingRule(Rule):
     )
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if _is_below_seam(module):
+            return
         aliases = import_aliases(module.tree)
         engine = module.subpackage in _NO_FILE_IO_SUBPACKAGES
         for node in ast.walk(module.tree):
@@ -158,6 +186,7 @@ class ConcReentrancyRule(ProjectRule):
     )
 
     def check_project(self, modules: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        modules = _above_seam(modules)
         analysis = get_conc_analysis(modules)
         flow = analysis.flow
         paths = {m.path for m in modules}

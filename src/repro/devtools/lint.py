@@ -24,96 +24,26 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import subprocess
 import sys
-from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-from .framework import Finding, LintError, collect_modules, run_rules
+# Baseline/changed helpers live in the shared catalogue plumbing now
+# (re-exported here because external callers import them from this
+# module).
+from .framework import (  # noqa: F401 — re-exported API
+    BASELINE_VERSION,
+    LintError,
+    changed_files,
+    collect_modules,
+    filter_baselined,
+    finding_key,
+    load_baseline,
+    record_baseline,
+    run_rules,
+    write_baseline,
+)
+from .framework import add_catalogue_arguments, narrow_to_changed
 from .rules import all_rules, get_rules
-
-BASELINE_VERSION = 1
-
-
-def finding_key(finding: Finding) -> str:
-    """Baseline identity of a finding (stable across line drift)."""
-    return f"{finding.rule}|{finding.path}|{finding.message}"
-
-
-def write_baseline(path: str, findings: Sequence[Finding]) -> None:
-    payload = {
-        "version": BASELINE_VERSION,
-        "findings": sorted({finding_key(f) for f in findings}),
-    }
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
-
-
-def load_baseline(path: str) -> set:
-    try:
-        payload = json.loads(Path(path).read_text())
-    except (OSError, ValueError) as exc:
-        raise LintError(f"cannot read baseline {path}: {exc}") from None
-    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
-        raise LintError(
-            f"baseline {path} is not a version-{BASELINE_VERSION} lint baseline"
-        )
-    return set(payload.get("findings", []))
-
-
-def changed_files(paths: Sequence[str]) -> List[str]:
-    """Python files under ``paths`` that differ from git HEAD.
-
-    Includes modified, added, renamed (new name) and untracked files.
-    Deleted files and the old half of a rename are skipped explicitly —
-    they are part of the diff but have nothing on disk to lint — and
-    every git-reported name is anchored at the repository root, so the
-    command works from a subdirectory too.
-    """
-    roots = [Path(p).resolve() for p in paths]
-
-    def run_git(*args: str) -> List[str]:
-        proc = subprocess.run(
-            ["git", *args], capture_output=True, text=True
-        )
-        if proc.returncode != 0:
-            raise LintError(
-                f"git {' '.join(args)} failed: {proc.stderr.strip()}"
-            )
-        return [line for line in proc.stdout.splitlines() if line]
-
-    repo_root = Path(run_git("rev-parse", "--show-toplevel")[0])
-    in_root = ("-C", str(repo_root))
-
-    candidates = set()
-    # --name-status over --name-only: a deleted file (D) or the old half
-    # of a rename (R old new) must be dropped by *status*, not by racing
-    # the filesystem — a stale name that happens to exist relative to
-    # the current directory would otherwise be linted by accident.
-    for line in run_git(*in_root, "diff", "--name-status", "-M", "HEAD", "--"):
-        fields = line.split("\t")
-        status = fields[0]
-        if status.startswith("D") or len(fields) < 2:
-            continue
-        # For renames/copies (R###/C###) the last field is the new name.
-        candidates.add(fields[-1])
-    # -C keeps untracked discovery repo-wide and repo-root-relative even
-    # when the linter runs from a subdirectory.
-    candidates.update(run_git(*in_root, "ls-files", "--others", "--exclude-standard"))
-    out = []
-    for name in sorted(candidates):
-        path = repo_root / name
-        if path.suffix != ".py" or not path.is_file():
-            continue
-        resolved = path.resolve()
-        if any(
-            root == resolved or root in resolved.parents for root in roots
-        ):
-            # Report paths relative to the caller's cwd (matching the
-            # paths a user would pass on the command line), falling back
-            # to the absolute path when cwd is outside the repo.
-            out.append(os.path.relpath(resolved))
-    return out
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -121,41 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.devtools.lint",
         description="Static determinism/purity/layering checks for the PAST reproduction.",
     )
-    parser.add_argument(
-        "paths", nargs="*", default=["src"],
-        help="files or directories to lint (default: src)",
-    )
-    parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
-    )
-    parser.add_argument(
-        "--select", metavar="RULES",
-        help="comma-separated rule names to run (default: all)",
-    )
-    parser.add_argument(
-        "--ignore", metavar="RULES",
-        help="comma-separated rule names to skip (applied after --select)",
-    )
-    parser.add_argument(
-        "--list-rules", action="store_true",
-        help="print the rule catalogue and exit",
-    )
-    parser.add_argument(
-        "--baseline", metavar="FILE",
-        help="suppress findings recorded in FILE; report only new ones",
-    )
-    parser.add_argument(
-        "--write-baseline", metavar="FILE",
-        help="record the current findings to FILE and exit 0",
-    )
-    parser.add_argument(
-        "--changed", action="store_true",
-        help=(
-            "lint only files changed vs. git HEAD (plus untracked) under "
-            "the given paths"
-        ),
-    )
+    add_catalogue_arguments(parser, family="lint")
     return parser
 
 
@@ -170,23 +66,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.select.split(",") if args.select else None,
             args.ignore.split(",") if args.ignore else None,
         )
-        paths: List[str] = args.paths
-        if args.changed:
-            paths = changed_files(paths)
-            if not paths:
-                print("no changed python files to lint")
-                return 0
+        paths: Optional[List[str]] = narrow_to_changed(args.paths, args.changed)
+        if paths is None:
+            print("no changed python files to lint")
+            return 0
         modules = collect_modules(paths)
         findings = run_rules(modules, rules)
         if args.write_baseline:
-            write_baseline(args.write_baseline, findings)
-            noun = "finding" if len(findings) == 1 else "findings"
-            print(f"baseline written: {len(findings)} {noun} recorded "
-                  f"in {args.write_baseline}")
+            print(record_baseline(args.write_baseline, findings))
             return 0
-        if args.baseline:
-            known = load_baseline(args.baseline)
-            findings = [f for f in findings if finding_key(f) not in known]
+        findings, _ = filter_baselined(findings, args.baseline)
     except LintError as exc:
         print(f"lint: error: {exc}", file=sys.stderr)
         return 2

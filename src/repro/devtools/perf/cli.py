@@ -26,8 +26,14 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from ..framework import LintError, collect_modules, run_rules
-from ..lint import changed_files, finding_key, load_baseline, write_baseline
+from ..framework import (
+    LintError,
+    collect_modules,
+    filter_baselined,
+    narrow_to_changed,
+    record_baseline,
+    run_rules,
+)
 from .bench import write_bench_files
 from .costmodel import CostFinding
 from .profile import CallCountProfile, profile_scenarios
@@ -173,25 +179,18 @@ def _load_profile(args: argparse.Namespace) -> Optional[CallCountProfile]:
 
 
 def _run_analyze(args: argparse.Namespace) -> int:
-    paths: List[str] = args.paths
-    if args.changed:
-        paths = changed_files(paths)
-        if not paths:
-            print("no changed python files to analyze")
-            return 0
+    paths: Optional[List[str]] = narrow_to_changed(args.paths, args.changed)
+    if paths is None:
+        print("no changed python files to analyze")
+        return 0
     modules = collect_modules(paths)
     # run_rules applies `# lint: ignore[...]` suppressions and gives the
     # findings the same identity the lint baseline machinery expects.
     findings = run_rules(modules, perf_rules())
     if args.write_baseline:
-        write_baseline(args.write_baseline, findings)
-        noun = "finding" if len(findings) == 1 else "findings"
-        print(f"baseline written: {len(findings)} {noun} recorded "
-              f"in {args.write_baseline}")
+        print(record_baseline(args.write_baseline, findings))
         return 0
-    if args.baseline:
-        known = load_baseline(args.baseline)
-        findings = [f for f in findings if finding_key(f) not in known]
+    findings, _ = filter_baselined(findings, args.baseline)
 
     # Re-derive cost metadata (badness, qualname) for the surviving
     # findings so they can be ranked: the analyzer's own findings carry

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..framework import LintError, Rule
+from ..framework import Rule, resolve_rules
 from ..flow.rules import OrderingHazardRule, RngDisciplineRule, SharedMutableStateRule
 from .determinism import BuiltinHashRule, GlobalRandomRule, UnseededRandomRule, WallClockRule
 from .layering import LayeringRule
@@ -42,34 +42,23 @@ def get_rules(
     ``ignore`` then removes rules from that selection.  Unknown names in
     either list raise :class:`LintError`.
 
-    The perf catalogue (``perf-*``, see :mod:`repro.devtools.perf`) and
-    the conc catalogue (``conc-*``, see :mod:`repro.devtools.conc`) are
+    The perf catalogue (``perf-*``, see :mod:`repro.devtools.perf`),
+    the conc catalogue (``conc-*``, see :mod:`repro.devtools.conc`) and
+    the wire catalogue (``wire-*``, see :mod:`repro.devtools.wire`) are
     resolvable by name but never part of the default set: their findings
-    are tracked against their own committed baselines, not the
-    correctness gate.
+    are tracked against their own committed baselines (or their own
+    zero-findings gates), not the correctness gate.
     """
     from ..conc.rules import conc_rules
     from ..perf.rules import perf_rules
+    from ..wire.rules import wire_rules
 
-    rules = all_rules()
-    by_name = {rule.name: rule for rule in rules}
-    for rule in perf_rules():
-        by_name[rule.name] = rule
-    for rule in conc_rules():
-        by_name[rule.name] = rule
-
-    def _lookup(name: str) -> Rule:
-        if name not in by_name:
-            known = ", ".join(sorted(by_name))
-            raise LintError(f"unknown rule {name!r} (known rules: {known})")
-        return by_name[name]
-
-    if names is not None:
-        rules = [_lookup(name) for name in names]
-    if ignore:
-        dropped = {_lookup(name).name for name in ignore}
-        rules = [rule for rule in rules if rule.name not in dropped]
-    return rules
+    return resolve_rules(
+        all_rules(),
+        select=names,
+        ignore=ignore,
+        extra=[*perf_rules(), *conc_rules(), *wire_rules()],
+    )
 
 
 __all__ = [

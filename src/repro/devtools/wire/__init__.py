@@ -1,0 +1,33 @@
+"""Wire-safety analyzer: static proof that the RPC surface can ship.
+
+Extracts every call site crossing the ``Transport`` seam, resolves each
+to its remote handler, and gates the surface at zero findings — no live
+object references, total handlers, handled lost-paths, and no drift
+from the committed golden ``wire_schema.json`` that the real-network
+codec (:mod:`repro.net.codec`) is generated from.
+"""
+
+from .extract import WireAnalysis, get_wire_analysis, is_wire_safe
+from .rules import (
+    WireHandlerTotalRule,
+    WireLostPathRule,
+    WireSchemaDriftRule,
+    WireSerializableRule,
+    wire_rules,
+)
+from .schema import DEFAULT_SCHEMA_PATH, build_schema, load_schema, schema_json
+
+__all__ = [
+    "DEFAULT_SCHEMA_PATH",
+    "WireAnalysis",
+    "WireHandlerTotalRule",
+    "WireLostPathRule",
+    "WireSchemaDriftRule",
+    "WireSerializableRule",
+    "build_schema",
+    "get_wire_analysis",
+    "is_wire_safe",
+    "load_schema",
+    "schema_json",
+    "wire_rules",
+]

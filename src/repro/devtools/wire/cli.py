@@ -1,0 +1,145 @@
+"""``repro-wire`` / ``python -m repro.devtools.wire`` — the wire front door.
+
+Three modes:
+
+* **analyze** (default) — run the wire catalogue (serializable, handler
+  totality, lost-path, schema drift) over the given paths.  The gate is
+  zero findings with zero suppressions: every finding is a payload the
+  real transport cannot ship.
+* ``--write-schema`` — recompute the RPC surface and (re)write the
+  golden ``wire_schema.json`` the codec loads as its type registry.
+* ``--check-schema`` — recompute and byte-compare against the committed
+  schema; exit 1 on any difference.
+
+Exit status follows ``repro-lint``: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..framework import (
+    LintError,
+    add_catalogue_arguments,
+    collect_modules,
+    filter_baselined,
+    narrow_to_changed,
+    record_baseline,
+    resolve_rules,
+    run_rules,
+)
+from .extract import get_wire_analysis
+from .schema import DEFAULT_SCHEMA_PATH, build_schema, load_schema, schema_json, write_schema
+from .rules import wire_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-wire",
+        description=(
+            "Wire-safety analyzer: extracts the RPC surface crossing the "
+            "Transport seam, gates it at zero findings, and pins it as a "
+            "golden wire schema the real-network codec is generated from."
+        ),
+    )
+    add_catalogue_arguments(parser, family="analyze")
+    parser.add_argument(
+        "--schema", metavar="FILE", default=None,
+        help=f"wire schema to pin against (default: {DEFAULT_SCHEMA_PATH})",
+    )
+    parser.add_argument(
+        "--write-schema", action="store_true",
+        help="recompute the RPC surface and write the golden schema",
+    )
+    parser.add_argument(
+        "--check-schema", action="store_true",
+        help="recompute and byte-compare against the committed schema",
+    )
+    return parser
+
+
+def _schema_path(args: argparse.Namespace) -> Path:
+    return Path(args.schema) if args.schema else DEFAULT_SCHEMA_PATH
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        schema_path = _schema_path(args)
+        rules = resolve_rules(wire_rules(schema_path), args.select, args.ignore)
+        if args.list_rules:
+            for rule in rules:
+                print(f"{rule.name}: {rule.description}")
+            return 0
+        paths: Optional[List[str]] = narrow_to_changed(args.paths, args.changed)
+        if paths is None:
+            print("no changed python files to analyze")
+            return 0
+        modules = collect_modules(paths)
+        if args.write_schema:
+            schema = build_schema(get_wire_analysis(modules))
+            write_schema(schema, schema_path)
+            print(
+                f"schema written: {len(schema['rpcs'])} rpcs, "
+                f"{len(schema['messages'])} messages in {schema_path}"
+            )
+            return 0
+        if args.check_schema:
+            fresh = schema_json(build_schema(get_wire_analysis(modules)))
+            committed = load_schema(schema_path)
+            if committed is None:
+                print(f"wire: error: no committed schema at {schema_path}",
+                      file=sys.stderr)
+                return 2
+            if schema_json(committed) != fresh:
+                print(f"wire schema drift: {schema_path} does not match the "
+                      "surface recomputed from source; run --write-schema "
+                      "and review the diff")
+                return 1
+            print(f"wire schema matches source ({schema_path})")
+            return 0
+        findings = run_rules(modules, rules)
+        if args.write_baseline:
+            print(record_baseline(args.write_baseline, findings))
+            return 0
+        findings, baselined = filter_baselined(findings, args.baseline)
+        analysis = get_wire_analysis(modules)
+        sends = sum(1 for s in analysis.sites if s.kind == "send")
+        if args.format == "json":
+            payload = {
+                "findings": [f.to_dict() for f in findings],
+                "count": len(findings),
+                "baselined": baselined,
+                "surface": {
+                    "rpcs": len(analysis.handlers),
+                    "send_sites": sends,
+                    "route_sites": sum(
+                        1 for s in analysis.sites if s.kind == "route"
+                    ),
+                    "probe_sites": sum(
+                        1 for s in analysis.sites if s.kind == "probe"
+                    ),
+                },
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for finding in findings:
+                print(finding.render())
+            noun = "finding" if len(findings) == 1 else "findings"
+            suffix = f" ({baselined} baselined)" if baselined else ""
+            print(
+                f"{len(findings)} {noun} in {len(modules)} modules{suffix} "
+                f"[{len(analysis.handlers)} rpcs, {sends} send sites]"
+            )
+        return 1 if findings else 0
+    except LintError as exc:
+        print(f"wire: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Real-network execution plane for the PAST reproduction.
+
+The deterministic simulator proves the *algorithms*; this package proves
+the *system*: the same engine-pure node logic served over asyncio TCP on
+localhost, every RPC and routed message encoded by a codec generated
+from the statically-certified ``wire_schema.json``.
+
+- :mod:`repro.net.codec` — deterministic length-prefixed wire codec,
+  type registry pinned by the committed schema.
+- :mod:`repro.net.asyncio_transport` — the ``Transport`` seam over real
+  sockets, one server per node.
+- :mod:`repro.net.differential` — cross-engine oracle (SimTransport vs
+  AsyncioTransport outcome checksums) and the ``repro serve`` bench.
+"""
+
+from .codec import CodecError, WireCodec
+from .asyncio_transport import AsyncioTransport, RemoteCallError
+from .differential import (
+    build_cluster,
+    outcome_checksum,
+    run_differential,
+    run_serve,
+    run_workload,
+)
+
+__all__ = [
+    "AsyncioTransport",
+    "CodecError",
+    "RemoteCallError",
+    "WireCodec",
+    "build_cluster",
+    "outcome_checksum",
+    "run_differential",
+    "run_serve",
+    "run_workload",
+]

@@ -1,0 +1,497 @@
+"""Real-network implementation of the transport seam over asyncio TCP.
+
+:class:`AsyncioTransport` matches the :class:`~repro.core.transport.Transport`
+protocol, so the same engine-pure ``PastNode``/``PastryNode`` logic that
+runs under the deterministic simulator serves real concurrent traffic:
+every direct RPC and every routed message is encoded by the schema-pinned
+:class:`~repro.net.codec.WireCodec`, crosses a localhost TCP socket to the
+target node's server, and is decoded and dispatched there.  Nothing is
+shortcut in-process — if a payload cannot survive the codec, the call
+fails, which is exactly the property the wire analyzer proves statically.
+
+Topology: one asyncio event loop in a background thread runs one TCP
+server per node (127.0.0.1, kernel-assigned ports).  Driver threads and
+remote handlers issue RPCs by scheduling a round-trip coroutine on the
+loop and blocking on its future.  Handlers run on an executor thread
+pool — never on the loop thread — so a handler that itself sends nested
+RPCs (insert coordination fanning out ``accept_replica``, repair chains)
+cannot deadlock the loop.
+
+Semantics relative to ``SimTransport``:
+
+* ``call=None`` (RPC to a node the caller already knows is dead) is
+  short-circuited driver-side to ``(False, None)`` after accounting,
+  exactly like the simulator — there is no server to time out against.
+* ``reliable=True`` is accepted and means nothing extra: the real plane
+  has no fault plan to skip.  A :class:`FaultPlan` on the overlay is
+  rejected at construction — injected faults belong to the simulator.
+* Mutable arguments (message dataclasses, lists, sets, dicts) are
+  round-tripped: the reply carries their post-handler state and the
+  driver merges it back into the caller's objects, preserving the
+  in-process mutation contract (``accept_replica`` filling receipts,
+  ``apply_member_repair`` growing ``seen``).
+* ``route`` is hop-by-hop: each node's server runs the ``forward``
+  up-call locally, then chains the frame to the next hop's server; the
+  final state flows back along the chain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import fields, is_dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..pastry.network import MAX_ROUTE_HOPS, RouteResult, RoutingError
+from .codec import CodecError, WireCodec
+
+__all__ = ["AsyncioTransport", "RemoteCallError"]
+
+#: How a handler's owning class is reached from the target's PastryNode.
+#: Keys are the class names pinned in the wire schema's rpc table.
+_TARGET_PATHS: Dict[str, Tuple[str, ...]] = {
+    "PastryNode": (),
+    "LeafSet": ("leafset",),
+    "RoutingTable": ("routing_table",),
+    "PastNode": ("app",),
+    "LocalStore": ("app", "store"),
+}
+
+
+class RemoteCallError(RuntimeError):
+    """A remote handler raised; carries the remote traceback text."""
+
+
+def _merge_value(old: Any, new: Any) -> None:
+    """Write a decoded post-handler value back into the caller's object.
+
+    Mutable containers merge in place so caller-held aliases observe the
+    mutation; mutable dataclass fields recurse one level for the same
+    reason (``InsertRequest.receipts`` is read through the original
+    request object).  Immutables need no merge — they cannot have been
+    mutated remotely.
+    """
+    if is_dataclass(old) and not type(old).__dataclass_params__.frozen:
+        for f in fields(old):
+            old_field = getattr(old, f.name)
+            new_field = getattr(new, f.name)
+            if isinstance(old_field, (list, set, dict)):
+                _merge_value(old_field, new_field)
+            else:
+                object.__setattr__(old, f.name, new_field)
+    elif isinstance(old, list):
+        old[:] = new
+    elif isinstance(old, set):
+        old.clear()
+        old.update(new)
+    elif isinstance(old, dict):
+        old.clear()
+        old.update(new)
+
+
+class _PeriodicTimer:
+    """Repeating timer handle matching the simulator's ``stop()`` shape."""
+
+    def __init__(self, cancel: Callable[[], None]):
+        self._cancel = cancel
+        self.stopped = False
+
+    def stop(self) -> None:
+        if not self.stopped:
+            self.stopped = True
+            self._cancel()
+
+
+class AsyncioTransport:
+    """Transport seam over localhost asyncio TCP, one server per node."""
+
+    def __init__(
+        self,
+        overlay: Any,
+        host: str = "127.0.0.1",
+        max_workers: int = 64,
+        timeout: float = 30.0,
+    ):
+        if getattr(overlay, "fault_plan", None) is not None:
+            raise RuntimeError(
+                "AsyncioTransport refuses a FaultPlan: injected faults "
+                "belong to the deterministic simulator"
+            )
+        self.overlay = overlay
+        self.host = host
+        self.timeout = timeout
+        self.codec = WireCodec()
+        self._ports: Dict[int, int] = {}
+        self._servers: Dict[int, asyncio.AbstractServer] = {}
+        self._pool: Dict[int, List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]] = {}
+        self._t0 = time.perf_counter()
+        #: Per-node dispatch locks: a node's handlers are serialized (the
+        #: engine state is not thread-safe), re-entrantly so a handler's
+        #: loopback self-RPC does not deadlock.
+        self._locks: Dict[int, threading.RLock] = {}
+        self._serving = threading.local()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-rpc"
+        )
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-net-loop", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def serve_all(self) -> Dict[int, int]:
+        """Start one TCP server per live overlay node; returns id->port."""
+        for node_id in list(self.overlay._nodes):
+            self.ensure_server(node_id)
+        return dict(self._ports)
+
+    def ensure_server(self, node_id: int) -> int:
+        """Start (idempotently) the server for one node; returns its port."""
+        port = self._ports.get(node_id)
+        if port is not None:
+            return port
+        return self._run(self._start_server(node_id))
+
+    def stop_server(self, node_id: int) -> None:
+        """Stop a node's server (a crashed node stops answering probes)."""
+        if node_id in self._ports:
+            self._run(self._stop_server(node_id))
+
+    def close(self) -> None:
+        """Stop every server and the loop thread."""
+        self._run(self._close_all())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+        self._executor.shutdown(wait=False)
+
+    def __enter__(self) -> "AsyncioTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ time plane
+
+    def now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def schedule(self, delay: float, callback: Callable[[], None]):
+        return asyncio.run_coroutine_threadsafe(
+            self._fire_later(delay, callback), self._loop
+        )
+
+    def schedule_at(self, when: float, callback: Callable[[], None]):
+        return self.schedule(max(0.0, when - self.now()), callback)
+
+    def cancel(self, handle) -> None:
+        handle.cancel()
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        jitter_fn: Optional[Callable[[], float]] = None,
+        first_delay: Optional[float] = None,
+    ) -> _PeriodicTimer:
+        future = asyncio.run_coroutine_threadsafe(
+            self._fire_every(period, callback, jitter_fn, first_delay),
+            self._loop,
+        )
+        return _PeriodicTimer(future.cancel)
+
+    async def _fire_later(self, delay: float, callback: Callable[[], None]) -> None:
+        await asyncio.sleep(delay)
+        await self._loop.run_in_executor(self._executor, callback)
+
+    async def _fire_every(self, period, callback, jitter_fn, first_delay) -> None:
+        delay = period if first_delay is None else first_delay
+        if jitter_fn is not None:
+            delay += jitter_fn()
+        while True:
+            await asyncio.sleep(delay)
+            await self._loop.run_in_executor(self._executor, callback)
+            delay = period + (jitter_fn() if jitter_fn is not None else 0.0)
+
+    # --------------------------------------------------------- message plane
+
+    def send(
+        self,
+        origin_id: int,
+        target_id: int,
+        call: Optional[Callable[..., Any]],
+        *args: Any,
+        reliable: bool = False,
+        **kwargs: Any,
+    ) -> Tuple[bool, Any]:
+        self.overlay.stats.record_rpc()
+        if call is None:
+            # The caller already knows the target is dead: the RPC goes
+            # out and times out; no server exists to answer it.
+            return False, None
+        handler = f"{type(call.__self__).__name__}.{call.__name__}"
+        frame = {
+            "op": "call",
+            "handler": handler,
+            "target": target_id,
+            "args": list(args),
+            "kwargs": kwargs,
+        }
+        try:
+            if getattr(self._serving, "node", None) == target_id:
+                # Loopback self-RPC from inside this node's own handler
+                # (a coordinator in its own replica set).  Going through
+                # the socket would deadlock on the node's dispatch lock;
+                # the payload still round-trips the codec, so the wire
+                # guarantee holds.
+                reply = self._loopback(target_id, frame)
+            else:
+                reply = self._request(target_id, frame)
+        except (OSError, asyncio.TimeoutError):
+            return False, None
+        if "error" in reply:
+            raise RemoteCallError(
+                f"{handler} on node {target_id:#x} raised:\n{reply['error']}"
+            )
+        for old, new in zip(args, reply["args"]):
+            _merge_value(old, new)
+        for key, new in reply["kwargs"].items():
+            _merge_value(kwargs[key], new)
+        return True, reply["result"]
+
+    def probe(self, origin_id: int, peer_id: int) -> bool:
+        try:
+            reply = self._request(peer_id, {"op": "ping"})
+        except (OSError, asyncio.TimeoutError):
+            return False
+        return bool(reply.get("ok"))
+
+    def route(self, origin_id: int, key: int, message=None,
+              collect_distance: bool = False) -> RouteResult:
+        overlay = self.overlay
+        if origin_id not in overlay._nodes:
+            raise KeyError(f"origin {origin_id} is not a live node")
+        reply = self._request(
+            origin_id, {"op": "route", "key": key, "message": message, "path": []}
+        )
+        if "error" in reply:
+            raise RemoteCallError(
+                f"route({key:#x}) from node {origin_id:#x} raised:\n{reply['error']}"
+            )
+        if message is not None and reply["message"] is not None:
+            _merge_value(message, reply["message"])
+        result = RouteResult(path=reply["path"])
+        result.terminus = reply["terminus"]
+        result.intercepted = reply["intercepted"]
+        if collect_distance:
+            result.distance = sum(
+                overlay.distance(a, b)
+                for a, b in zip(result.path, result.path[1:])
+            )
+        overlay.stats.record_route(result.hops, result.distance)
+        return result
+
+    # --------------------------------------------------------- driver plumbing
+
+    def _run(self, coro):
+        """Run a coroutine on the loop thread, blocking the caller."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def _request(self, target_id: int, frame: dict) -> dict:
+        """One encoded round-trip to a node's server.
+
+        Safe from any thread except the loop thread itself (handlers run
+        on the executor, so nested RPCs arrive here, not on the loop).
+        """
+        blob = self.codec.encode_frame(frame)
+        future = asyncio.run_coroutine_threadsafe(
+            self._roundtrip(target_id, blob), self._loop
+        )
+        try:
+            return self.codec.decode(future.result(timeout=self.timeout * 2))
+        except FuturesTimeout:
+            # Normalize to the flavor the callers' except clauses expect
+            # (concurrent.futures and asyncio timeouts differ pre-3.11).
+            raise asyncio.TimeoutError(
+                f"no reply from node {target_id:#x}"
+            ) from None
+
+    async def _roundtrip(self, target_id: int, blob: bytes) -> bytes:
+        port = self._ports.get(target_id)
+        if port is None:
+            # Live nodes serve on first contact (a joining node's peers
+            # are dialed before any explicit serve_all()); dead nodes
+            # refuse, which is what probes are for.
+            if target_id in self.overlay._nodes:
+                port = await self._start_server(target_id)
+            else:
+                raise ConnectionRefusedError(f"node {target_id:#x} is not serving")
+        conn = await self._checkout(target_id, port)
+        reader, writer = conn
+        try:
+            writer.write(blob)
+            await writer.drain()
+            payload = await asyncio.wait_for(
+                self._read_frame(reader), timeout=self.timeout
+            )
+        except BaseException:
+            writer.close()
+            raise
+        if payload is None:
+            writer.close()
+            raise ConnectionResetError(f"node {target_id:#x} closed mid-call")
+        self._pool.setdefault(target_id, []).append(conn)
+        return payload
+
+    async def _checkout(self, target_id: int, port: int):
+        free = self._pool.get(target_id)
+        while free:
+            reader, writer = free.pop()
+            if not writer.is_closing():
+                return reader, writer
+        return await asyncio.open_connection(self.host, port)
+
+    @staticmethod
+    async def _read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+        try:
+            header = await reader.readexactly(4)
+            length = int.from_bytes(header, "big")
+            return await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
+
+    # --------------------------------------------------------- server side
+
+    async def _start_server(self, node_id: int) -> int:
+        server = await asyncio.start_server(
+            lambda r, w: self._serve_conn(node_id, r, w), self.host, 0
+        )
+        port = server.sockets[0].getsockname()[1]
+        self._servers[node_id] = server
+        self._ports[node_id] = port
+        return port
+
+    async def _stop_server(self, node_id: int) -> None:
+        server = self._servers.pop(node_id, None)
+        self._ports.pop(node_id, None)
+        for reader, writer in self._pool.pop(node_id, []):
+            writer.close()
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    async def _close_all(self) -> None:
+        for node_id in list(self._servers):
+            await self._stop_server(node_id)
+        # Connection handlers are parked on reads; cancel and reap them
+        # so nothing still needs the loop after it stops.
+        me = asyncio.current_task()
+        tasks = [t for t in asyncio.all_tasks(self._loop) if t is not me]
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _serve_conn(self, node_id: int, reader, writer) -> None:
+        try:
+            while True:
+                payload = await self._read_frame(reader)
+                if payload is None:
+                    break
+                frame = self.codec.decode(payload)
+                if frame.get("op") == "ping":
+                    reply = {"ok": node_id in self.overlay._nodes}
+                else:
+                    # Handlers run on the executor: they may issue nested
+                    # RPCs, which must not block the loop thread.
+                    reply = await self._loop.run_in_executor(
+                        self._executor, self._dispatch, node_id, frame
+                    )
+                writer.write(self.codec.encode_frame(reply))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancels parked handlers; exit cleanly so the
+            # stream protocol's done-callback finds no pending exception.
+            pass
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:
+                pass  # loop already closing underneath us
+
+    def _loopback(self, node_id: int, frame: dict) -> dict:
+        """Dispatch a self-RPC inline, still round-tripping the codec."""
+        wire = self.codec.decode(self.codec.encode(frame))
+        reply = self._dispatch(node_id, wire)
+        return self.codec.decode(self.codec.encode(reply))
+
+    def _node_lock(self, node_id: int) -> threading.RLock:
+        return self._locks.setdefault(node_id, threading.RLock())
+
+    def _dispatch(self, node_id: int, frame: dict) -> dict:
+        prev = getattr(self._serving, "node", None)
+        self._serving.node = node_id
+        try:
+            if frame["op"] == "call":
+                with self._node_lock(node_id):
+                    return self._dispatch_call(node_id, frame)
+            if frame["op"] == "route":
+                return self._dispatch_route(node_id, frame)
+            raise CodecError(f"unknown frame op {frame.get('op')!r}")
+        except Exception:
+            return {"error": traceback.format_exc()}
+        finally:
+            self._serving.node = prev
+
+    def _dispatch_call(self, node_id: int, frame: dict) -> dict:
+        node = self.overlay._nodes.get(node_id)
+        if node is None:
+            raise RoutingError(f"node {node_id:#x} crashed while serving")
+        cls_name, _, method_name = frame["handler"].partition(".")
+        path = _TARGET_PATHS.get(cls_name)
+        if path is None:
+            raise CodecError(f"handler class {cls_name!r} not in the wire schema")
+        target = node
+        for attr in path:
+            target = getattr(target, attr)
+        args = frame["args"]
+        kwargs = frame["kwargs"]
+        result = getattr(target, method_name)(*args, **kwargs)
+        return {"result": result, "args": args, "kwargs": kwargs}
+
+    def _dispatch_route(self, node_id: int, frame: dict) -> dict:
+        overlay = self.overlay
+        node = overlay._nodes.get(node_id)
+        if node is None:
+            raise RoutingError(f"route hop {node_id:#x} crashed while serving")
+        key = frame["key"]
+        message = frame["message"]
+        path = frame["path"] + [node_id]
+        if len(path) > MAX_ROUTE_HOPS:
+            raise RoutingError("routing loop detected")
+        # The node lock covers only this hop's local up-calls; it is
+        # released before chaining, so two concurrent routes crossing in
+        # opposite directions cannot hold-and-wait each other's hops.
+        with self._node_lock(node_id):
+            next_id = node.next_hop(
+                key, rng=overlay.rng, randomize=overlay.randomize_routing
+            )
+            cont = node.app.forward(node, message, key, next_id)
+            if not cont:
+                return {"terminus": node_id, "intercepted": True,
+                        "path": path, "message": message}
+            if next_id is None:
+                node.app.deliver(node, message, key)
+                return {"terminus": node_id, "intercepted": False,
+                        "path": path, "message": message}
+        # Chain the (post-forward) message to the next hop's server; the
+        # final state rides the replies back along the chain.
+        return self._request(
+            next_id, {"op": "route", "key": key, "message": message, "path": path}
+        )

@@ -10,7 +10,7 @@ replica diversion and replica maintenance.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, List, Optional, Set, Tuple
 
 from . import idspace
 
@@ -130,7 +130,7 @@ class LeafSet:
         self._recompute()
         return set(self._members)
 
-    def sorted_members(self) -> tuple:
+    def sorted_members(self) -> Tuple[int, ...]:
         """Members ascending, as a shared immutable view.
 
         Equivalent to ``sorted(ls.members())`` without the per-call set
@@ -144,7 +144,7 @@ class LeafSet:
             self._sorted = tuple(sorted(self._members))
         return self._sorted
 
-    def sorted_members_with_owner(self) -> tuple:
+    def sorted_members_with_owner(self) -> Tuple[int, ...]:
         """Members plus the owner, ascending (shared immutable view)."""
         self._recompute()
         if self._with_owner is None:

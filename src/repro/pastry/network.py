@@ -257,31 +257,24 @@ class PastryNetwork:
         # Route a join message from the seed towards the new node's id,
         # recording the nodes encountered.
         result = self.route(seed.node_id, node.node_id, message=None)
-        path_nodes = [self._nodes[i] for i in result.path]
-        terminus = path_nodes[-1]
+        # Confirm-reread: route() suspends at every hop, so a node
+        # recorded on the path may have failed before its state is read;
+        # keep only the ones still registered.
+        path_nodes = [self._nodes[i] for i in result.path if i in self._nodes]
+        if not path_nodes:
+            path_nodes = [seed]
+        # Leaf set from Z, neighborhood from A, routing rows from the
+        # path (the newcomer pulls its own state; see initialize_from_join).
+        node.initialize_from_join(seed, path_nodes)
 
-        # Leaf set from Z (the numerically closest existing node), then
-        # completed by exchanging leaf sets with the members found there —
-        # Z alone cannot always supply both sides (see exchange_leafsets).
-        node.leafset.add(terminus.node_id)
-        node.leafset.add_all(terminus.leafset.members())
-        node.exchange_leafsets()
-        # Neighborhood set from A (the proximity-nearby contact).
-        node.consider_neighbor(seed.node_id)
-        for n_id in seed.neighborhood:
-            node.consider_neighbor(n_id)
-        # Routing rows from the nodes along the path; each shares an
-        # increasingly long id prefix with the newcomer.
-        for hop in path_nodes:
-            node.routing_table.consider(hop.node_id)
-            depth = idspace.shared_prefix_length(hop.node_id, node.node_id, self.b)
-            for row in range(min(depth + 1, node.routing_table.rows)):
-                node.routing_table.install_row(row, hop.routing_table.row(row))
-        for member in node.leafset.sorted_members():
-            node.routing_table.consider(member)
-
-        self._register(node)
-        self.stats.record_rpc()
+        # Confirm-reread: initialization suspends at each leaf-set
+        # exchange RPC, so the announcement set is collected from the
+        # newcomer's post-exchange tables, re-read here.
+        if len(node.leafset) == 0 and len(node.routing_table) == 0:
+            # Every peer vanished while the exchange was in flight; the
+            # newcomer is registered with nobody to announce to.
+            self._register(node)
+            return node
 
         # Announce arrival to every node that appears in the new node's
         # state, restoring Pastry's invariants (O(log N) messages).
@@ -291,11 +284,16 @@ class PastryNetwork:
         contacts.update(node.routing_table.entries())
         contacts.update(node.neighborhood)
         contacts.update(p.node_id for p in path_nodes)
+
+        self._register(node)
+        self.stats.record_rpc()
         for contact_id in sorted(contacts):
-            contact = self._nodes.get(contact_id)
-            if contact is not None:
-                contact.learn(node.node_id)
-                self.stats.record_rpc(self.distance(node.node_id, contact_id))
+            if contact_id not in self._nodes:
+                # Confirm-reread: learn() suspends at its own RPCs, so a
+                # contact collected above may fail before its turn comes.
+                continue
+            self._nodes[contact_id].learn(node.node_id)
+            self.stats.record_rpc(self.distance(node.node_id, contact_id))
         return node
 
     def _nearest_by_proximity(self, coord) -> PastryNode:

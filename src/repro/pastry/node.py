@@ -212,6 +212,44 @@ class PastryNode:
                 break
         return pulls
 
+    def initialize_from_join(
+        self, seed: "PastryNode", path_nodes: List["PastryNode"]
+    ) -> None:
+        """Seed this newcomer's state from its join route (§2.3).
+
+        ``seed`` is A, the proximity-nearby contact that routed the join
+        message; ``path_nodes`` are the nodes the message traversed,
+        ending at Z, the node numerically closest to this one.  Leaf set
+        from Z (then completed by a member exchange), neighborhood set
+        from A, routing rows from every node along the path.
+        """
+        terminus = path_nodes[-1]
+        # Leaf set from Z, completed by exchanging leaf sets with the
+        # members found there — Z alone cannot always supply both sides
+        # (see exchange_leafsets).
+        self.leafset.add(terminus.node_id)
+        self.leafset.add_all(terminus.leafset.members())
+        self.exchange_leafsets()
+        # Neighborhood set from A (the proximity-nearby contact).
+        self.consider_neighbor(seed.node_id)
+        for n_id in seed.neighborhood:
+            self.consider_neighbor(n_id)
+        # Routing rows from the nodes along the path; each shares an
+        # increasingly long id prefix with the newcomer.
+        for hop in path_nodes:
+            self.routing_table.consider(hop.node_id)
+            depth = idspace.shared_prefix_length(hop.node_id, self.node_id, self.b)
+            for row in range(min(depth + 1, self.routing_table.rows)):
+                self.routing_table.install_row(row, hop.routing_table.row(row))
+        # Confirm-reread: the leaf-set exchange suspends once per
+        # contacted member, so the pre-exchange membership is stale by
+        # now; routing entries are derived from the set's *current*
+        # members, re-read after the last suspension.
+        if not self.leafset.members():
+            return  # every contact vanished while the exchange was in flight
+        for member in self.leafset.sorted_members():
+            self.routing_table.consider(member)
+
     # -------------------------------------------------------------- routing
 
     def next_hop(

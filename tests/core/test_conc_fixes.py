@@ -199,3 +199,107 @@ class TestProbeRoundConfirmReread:
         peers = [key for key in monitor.last_heard if key[0] == observer_id]
         assert peers, "watched observer recorded no liveness"
         assert monitor.last_heard != before or monitor.probes_sent > 0
+
+
+class TestJoinConfirmReread:
+    def test_contact_failed_mid_announce_is_skipped(self, monkeypatch):
+        """A contact collected from the newcomer's tables can crash while
+        an earlier announcement RPC is in flight; the announce loop must
+        re-check liveness per contact instead of indexing the stale set."""
+        from repro.pastry.node import PastryNode
+
+        net = build_pastry(12, l=8, seed=41)
+        victim_id = max(net.node_ids)
+        learned = []
+        state = {"fired": False}
+        orig = PastryNode.learn
+
+        # Instrument the announcement handler: the first announcement that
+        # reaches any node plays a concurrent crash of the victim contact.
+        def wrapped(self, new_id):
+            learned.append(self.node_id)
+            if not state["fired"] and victim_id in net._nodes:
+                state["fired"] = True
+                net.mark_failed(victim_id)
+            return orig(self, new_id)
+
+        monkeypatch.setattr(PastryNode, "learn", wrapped)
+        node = net.join()
+        assert state["fired"], "join announced to nobody"
+        # The newcomer's tables still reference the victim (no keep-alive
+        # expired), so the stale contact set definitely contained it...
+        stale_contacts = set(node.leafset.members())
+        stale_contacts.update(node.routing_table.entries())
+        stale_contacts.update(node.neighborhood)
+        assert victim_id in stale_contacts
+        # ...yet the crashed contact was never announced to.
+        assert victim_id not in learned
+        assert node.node_id in net._nodes
+
+    def test_join_announces_everyone_when_nothing_interleaves(self, monkeypatch):
+        from repro.pastry.node import PastryNode
+
+        net = build_pastry(12, l=8, seed=41)
+        learned = []
+        orig = PastryNode.learn
+
+        def wrapped(self, new_id):
+            learned.append(self.node_id)
+            return orig(self, new_id)
+
+        monkeypatch.setattr(PastryNode, "learn", wrapped)
+        node = net.join()
+        contacts = set(node.leafset.members())
+        contacts.update(node.routing_table.entries())
+        contacts.update(node.neighborhood)
+        assert contacts <= set(learned)
+
+
+class TestReconcileRecoveredConfirmReread:
+    def find_double_holder(self, net, fids):
+        for node in net.nodes():
+            held = [f for f in fids if node.store.references_file(f)]
+            if len(held) >= 2:
+                return node, held
+        raise AssertionError("no node references two files at this seed")
+
+    def test_entry_retired_mid_repair_is_skipped(self):
+        """request_repair() suspends once per replica-set member; a repair
+        that lands in that window can retire a later entry of the recovery
+        sweep, which must then be skipped rather than re-repaired."""
+        net, fids = build_loaded(n=12, n_files=6, seed=73)
+        node, held = self.find_double_holder(net, fids)
+        net.crash_node(node.node_id)
+
+        snapshot = node.store.file_ids()
+        retired = snapshot[-1]
+        repaired = []
+        orig = node.request_repair
+
+        def wrapped(fid):
+            repaired.append(fid)
+            if len(repaired) == 1 and retired in node.store.file_ids():
+                # The interleaved repair: another member absorbs the
+                # entry and retires this node's copy mid-sweep.
+                node.store.drop_pointer(retired)
+                node.store.drop_replica(retired)
+            return orig(fid)
+
+        node.request_repair = wrapped
+        net.recover_node(node.node_id)
+        assert repaired, "recovery sweep repaired nothing"
+        assert retired != repaired[0], "interleave fired after its target"
+        assert retired not in repaired, (
+            "recovery sweep repaired an entry retired while in flight"
+        )
+
+    def test_recovery_sweep_covers_every_entry_when_nothing_interleaves(self):
+        net, fids = build_loaded(n=12, n_files=6, seed=73)
+        node, _held = self.find_double_holder(net, fids)
+        net.crash_node(node.node_id)
+        snapshot = node.store.file_ids()
+        repaired = []
+        orig = node.request_repair
+        node.request_repair = lambda fid: (repaired.append(fid), orig(fid))[1]
+        net.recover_node(node.node_id)
+        assert set(snapshot) <= set(repaired)

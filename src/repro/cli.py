@@ -293,8 +293,16 @@ def cmd_serve(args) -> str:
             return "\n".join(lines)
     bench = run_serve(
         n_nodes=args.nodes, n_files=args.files, seed=args.seed,
-        workers=args.workers,
+        workers=args.workers, data_dir=args.data_dir,
     )
+    if bench.get("interrupted"):
+        shutdown = bench.get("shutdown", {})
+        lines.append(
+            "interrupted: drained in-flight dispatches "
+            f"({'clean' if shutdown.get('drained') else 'timed out'}), "
+            f"flushed {shutdown.get('wals_flushed', 0)} WALs"
+        )
+        return "\n".join(lines)
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(bench, fh, indent=2, sort_keys=True)
@@ -312,6 +320,20 @@ def cmd_serve(args) -> str:
         f"audit violations: {bench['audit_violations']}"
     )
     lines.append(f"outcome checksum: {bench['checksum']}")
+    durability = bench.get("durability")
+    if durability is not None:
+        lines.append(
+            f"durable restart: node {durability['victim']} killed and "
+            f"recovered from its WAL "
+            f"({durability['records_replayed']} records replayed, "
+            f"{durability['entries_restored']} entries restored, "
+            f"recovered_all={durability['recovered_all']})"
+        )
+        shutdown = bench.get("shutdown", {})
+        lines.append(
+            f"shutdown: drained={shutdown.get('drained')} "
+            f"wals_flushed={shutdown.get('wals_flushed')}"
+        )
     return "\n".join(lines)
 
 
@@ -356,6 +378,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "oracle before serving")
     serve.add_argument("--out", metavar="FILE", default=None,
                        help="write the BENCH-style serve record to FILE")
+    serve.add_argument("--data-dir", metavar="DIR", default=None,
+                       help="journal every node's store to a WAL under DIR; "
+                            "a killed node restarts from its journal")
     return parser
 
 

@@ -145,6 +145,11 @@ class PastNetwork:
         self.integrity = IntegrityStats()
         self.storage_faults: Optional[StorageFaultPlan] = None
         self._storage_clock: Callable[[], float] = lambda: 0.0
+        #: Durable-store seam: when set, every admitted node's store gets
+        #: ``factory(node_id, fault_plan) -> backend`` attached (see
+        #: :mod:`repro.store`).  None — the default — leaves stores
+        #: purely in-memory, byte-identical to the pre-seam behavior.
+        self.store_backend_factory: Optional[Callable] = None
         self.total_capacity = 0
         self.bytes_stored = 0
         self.clock = 0
@@ -254,6 +259,10 @@ class PastNetwork:
         if self.storage_faults is not None:
             store.fault_plan = self.storage_faults
             store.now = self._storage_clock
+        if self.store_backend_factory is not None:
+            store.backend = self.store_backend_factory(
+                pastry_node.node_id, self.storage_faults
+            )
         node = PastNode(pastry_node, store, card, self.config, self)
         # Register the storage layer before the overlay announces the node,
         # so join-time maintenance hooks can reach it.
@@ -705,13 +714,7 @@ class PastNetwork:
         contents were lost as part of the failure" (§3.5).
         """
         node = self._failed_past[node_id]
-        store = node.store
-        store.primaries.clear()
-        store.diverted_in.clear()
-        store.pointers.clear()
-        store.cache.clear()
-        store.used = 0
-        store._cache_checked.clear()
+        node.store.wipe_disk()
         if self.storage_faults is not None:
             # The media is gone; so are its corruption records.
             self.storage_faults.forget_node(node_id)
@@ -733,12 +736,24 @@ class PastNetwork:
         for fid, replica in referenced:
             for ref in sorted(replica.referrers):
                 ref_node = self._past.get(ref)
-                if ref_node is not None:
-                    ref_node.on_diverted_target_failed(fid)
+                if ref_node is None:
+                    continue
+                # Confirm-reread: the previous referrer's failover
+                # suspends at its re-replication RPCs; deliver only to
+                # referrers that still hold their pointer.
+                if fid not in ref_node.store.pointers:
+                    continue
+                ref_node.on_diverted_target_failed(fid)
         for fid, pointer in list(node.store.pointers.items()):
             target = self._past.get(pointer.target_id)
-            if target is not None:
-                target.on_referrer_failed(fid, node_id, pointer.primary)
+            if target is None:
+                continue
+            # Confirm-reread: earlier deliveries suspend at their
+            # pointer-rebind RPCs; the target may have been detected
+            # failed (or shed the replica) while one was in flight.
+            if pointer.target_id not in self._past or not target.store.holds_file(fid):
+                continue
+            target.on_referrer_failed(fid, node_id, pointer.primary)
 
     def fail_simultaneously(self, node_ids) -> None:
         """Fail a set of nodes within one recovery period.

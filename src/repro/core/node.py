@@ -454,8 +454,16 @@ class PastNode(PastryApplication):
             displaced = self._displaced_member(key, kset, new_id, cert.k)
             if displaced is not None:
                 displaced_node = self.network.past_node_or_none(displaced)
-                if displaced_node is not None:
-                    displaced_node.maybe_discard(fid)
+                if displaced_node is None:
+                    continue
+                # Confirm-reread: _restore_file_invariant suspends at
+                # its repair RPCs; only prompt a discard if the
+                # displaced holder still has the primary replica
+                # (maybe_discard's own first check, re-read here so the
+                # decision is post-suspension).
+                if fid not in displaced_node.store.primaries:
+                    continue
+                displaced_node.maybe_discard(fid)
 
     def _maintain_after_failure(self, failed_id: int) -> None:
         """Re-create replicas lost to a failed leaf-set member (§3.5)."""
@@ -527,7 +535,7 @@ class PastNode(PastryApplication):
             pointer = member.store.pointers.get(fid) if member else None
             if pointer is not None and not pointer.primary:
                 # A pointer now serving as a kset entry must answer lookups.
-                pointer.primary = True
+                member.store.set_pointer_primary(fid, True)
         if not needs:
             self.network.degraded_files.discard(fid)
             return
@@ -572,9 +580,15 @@ class PastNode(PastryApplication):
             )
             if not delivered or not repaired:
                 all_ok = False
+        # Confirm-reread: the member repairs above suspend at their RPCs;
+        # re-test the flag after them rather than acting on the value the
+        # pass started from (both edits are idempotent, so the guards are
+        # behavior-neutral today and atomicity-safe under a concurrent
+        # transport).
         if all_ok:
-            self.network.degraded_files.discard(fid)
-        else:
+            if fid in self.network.degraded_files:
+                self.network.degraded_files.discard(fid)
+        elif fid not in self.network.degraded_files:
             self.network.note_degraded_file(fid)
 
     def apply_member_repair(
@@ -616,8 +630,14 @@ class PastNode(PastryApplication):
         key = idspace.routing_key(fid)
         for member_id in self.leafset.closest_nodes(key, k):
             member = self.network.past_node_or_none(member_id)
-            if member is not None:
-                member._restore_file_invariant(fid)
+            if member is None:
+                continue
+            # Confirm-reread: the previous member's repair suspends at
+            # its RPCs; re-fetch before driving this member's pass so a
+            # node swapped out in the meantime is not acted on.
+            if member is not self.network.past_node_or_none(member_id):
+                continue
+            member._restore_file_invariant(fid)
 
     # ------------------------------------------------------------ integrity
 
@@ -874,7 +894,7 @@ class PastNode(PastryApplication):
             for s in survivors:
                 pointer = s.store.pointers.get(fid)
                 if pointer is not None and not pointer.primary:
-                    pointer.primary = True
+                    s.store.set_pointer_primary(fid, True)
                     key = idspace.routing_key(fid)
                     s._install_backup_pointer(
                         pointer.certificate,
@@ -943,7 +963,13 @@ class PastNode(PastryApplication):
                     if ref == self.node_id:
                         continue
                     ref_node = self.network.past_node_or_none(ref)
-                    if ref_node is not None:
-                        ref_node.store.drop_pointer(fid)
+                    if ref_node is None:
+                        continue
+                    # Confirm-reread: the drop-referrers RPC above
+                    # suspended; an interleaved repair may already have
+                    # retired this referrer's backup pointer.
+                    if fid not in ref_node.store.pointers:
+                        continue
+                    ref_node.store.drop_pointer(fid)
             migrated += 1
         return migrated

@@ -138,6 +138,7 @@ class LocalStore:
     __slots__ = (
         "capacity", "used", "_accounting", "node_id", "fault_plan", "now",
         "_cache_checked", "primaries", "diverted_in", "pointers", "cache",
+        "backend",
     )
 
     def __init__(
@@ -158,6 +159,11 @@ class LocalStore:
         self.node_id: int = -1
         self.fault_plan: Optional["StorageFaultPlan"] = None
         self.now: Callable[[], float] = lambda: 0.0
+        #: Optional replica-store backend (see :mod:`repro.store`): an
+        #: observer of logical mutations via duck-typed ``note_*`` hooks.
+        #: None (the default) is byte-identical to :class:`MemoryBackend`
+        #: — a single attribute check per mutation, zero RNG draws.
+        self.backend: Optional["ReplicaStoreBackend"] = None
         #: fid -> virtual time the cached copy was inserted/last verified.
         self._cache_checked: Dict[int, float] = {}
         self.primaries: Dict[int, StoredReplica] = {}
@@ -241,6 +247,8 @@ class LocalStore:
         # A replica supersedes any cached copy of the same file.
         self.cache.remove(fid)
         self._charge(certificate.size)
+        if self.backend is not None:
+            self.backend.note_store(certificate, diverted)
         return replica
 
     def drop_replica(self, file_id: int) -> Optional[StoredReplica]:
@@ -252,6 +260,8 @@ class LocalStore:
             if self.fault_plan is not None:
                 self.fault_plan.forget(self.node_id, file_id)
             self._charge(-replica.size)
+            if self.backend is not None:
+                self.backend.note_drop(file_id)
         return replica
 
     def drop_replica_referrers(self, file_id: int) -> Optional[List[int]]:
@@ -361,6 +371,8 @@ class LocalStore:
     ) -> DiversionPointer:
         pointer = DiversionPointer(certificate, target_id, primary=primary)
         self.pointers[certificate.file_id] = pointer
+        if self.backend is not None:
+            self.backend.note_pointer(certificate, target_id, primary)
         return pointer
 
     def install_pointer(
@@ -375,7 +387,74 @@ class LocalStore:
         self.add_pointer(certificate, target_id, primary=primary)
 
     def drop_pointer(self, file_id: int) -> Optional[DiversionPointer]:
-        return self.pointers.pop(file_id, None)
+        pointer = self.pointers.pop(file_id, None)
+        if pointer is not None and self.backend is not None:
+            self.backend.note_drop_pointer(file_id)
+        return pointer
+
+    def set_pointer_primary(self, file_id: int, primary: bool) -> bool:
+        """Flip a pointer's primary flag (pointer promotion, §3.5).
+
+        The flag decides which pointer answers lookups, so it is part of
+        the durable logical state — all writers must come through here
+        rather than poking :attr:`DiversionPointer.primary` directly.
+        Returns False if no pointer for ``file_id`` exists.
+        """
+        pointer = self.pointers.get(file_id)
+        if pointer is None:
+            return False
+        if pointer.primary != primary:
+            pointer.primary = primary
+            if self.backend is not None:
+                self.backend.note_primary_flag(file_id, primary)
+        return True
+
+    # ----------------------------------------------------------- durability
+
+    def wipe_disk(self) -> None:
+        """Destroy this disk's contents (crash = media loss).
+
+        Empties every table without going through ``_charge`` — the
+        caller owns the global byte accounting (a crashed node's bytes
+        were already subtracted at crash time).  A durable backend loses
+        its journal too: the media is gone, not just the process.
+        """
+        self.primaries.clear()
+        self.diverted_in.clear()
+        self.pointers.clear()
+        self.cache.clear()
+        self.used = 0
+        self._cache_checked.clear()
+        if self.backend is not None:
+            self.backend.note_wipe()
+
+    def restore_state(self, state: "StoreState") -> int:
+        """Rebuild the replica/pointer tables from recovered durable state.
+
+        Used when a killed node restarts from its WAL: the backend has
+        already replayed the journal into ``state``; this re-materializes
+        the live tables from it.  Deliberately does *not* call the
+        backend hooks — these records are already in the journal, and
+        re-appending them would double them on every restart.  Like
+        :meth:`wipe_disk`, it also skips the global accounting hook:
+        the node is failed while this runs, and recovery re-adds
+        ``used`` wholesale when it rejoins.  Referrer sets and the
+        cache are soft state the keep-alive machinery rebuilds after
+        rejoin.  Returns the number of entries restored.
+        """
+        now = self.now() if self.fault_plan is not None else 0.0
+        for fid, (cert, diverted) in sorted(state.replicas.items()):
+            replica = StoredReplica(cert, diverted=diverted)
+            replica.stored_at = now
+            replica.last_checked = now
+            if diverted:
+                self.diverted_in[fid] = replica
+            else:
+                self.primaries[fid] = replica
+            self.used += cert.size
+        for fid, (cert, target, primary) in sorted(state.pointers.items()):
+            self.pointers[fid] = DiversionPointer(cert, target, primary=primary)
+        return len(state.replicas) + len(state.pointers)
 
     # -------------------------------------------------------------- queries
 

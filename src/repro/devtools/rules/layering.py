@@ -35,10 +35,13 @@ LAYER_DEPS: Mapping[str, FrozenSet[str]] = {
     "analysis": frozenset(),
     "devtools": frozenset({"netsim", "pastry", "core"}),
     "pastry": frozenset({"netsim", "security"}),
+    # core stays ignorant of repro.store: the durable backend plugs in
+    # behind LocalStore's duck-typed hooks, never the other way around.
     "core": frozenset({"pastry", "netsim", "security"}),
+    "store": frozenset({"net", "netsim", "security"}),
     "client": frozenset({"core", "erasure", "security", "pastry", "netsim"}),
     "experiments": frozenset(
-        {"core", "pastry", "netsim", "security", "workloads", "erasure", "analysis", "client"}
+        {"core", "pastry", "netsim", "security", "workloads", "erasure", "analysis", "client", "store"}
     ),
 }
 

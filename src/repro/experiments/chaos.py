@@ -38,9 +38,13 @@ the protocol is explicitly allowed to be in during a recovery period.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import shutil
 import sys
+import tempfile
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from ..core import (
@@ -53,6 +57,7 @@ from ..core import (
 )
 from ..core.invariants import AuditReport
 from ..netsim import (
+    CRASH_PHASES,
     DISK_READONLY,
     EventSimulator,
     FaultPlan,
@@ -61,6 +66,7 @@ from ..netsim import (
 )
 from ..pastry import idspace
 from ..pastry.keepalive import KeepAliveMonitor
+from ..store import Vfs, WalBackend, recover_state
 
 import random
 
@@ -184,12 +190,18 @@ class ChaosReport:
         return json.dumps(payload, sort_keys=True, indent=2)
 
 
-def _build_deployment(cfg: ChaosConfig, rng: random.Random) -> PastNetwork:
+def _build_deployment(
+    cfg: ChaosConfig, rng: random.Random, backend_factory=None
+) -> PastNetwork:
     """A clean, fault-free deployment with n_files fully replicated."""
     config = PastConfig(
         l=cfg.l, k=cfg.k, seed=cfg.seed, cache_policy=cfg.cache_policy
     )
     net = PastNetwork(config)
+    if backend_factory is not None:
+        # Installed before build so every admitted node's LocalStore is
+        # born with its durable backend (journaling from record one).
+        net.store_backend_factory = backend_factory
     net.build([rng.randrange(500_000, 1_000_000) for _ in range(cfg.n_nodes)])
     owner = net.create_client("chaos")
     node_ids = [n.node_id for n in net.nodes()]
@@ -544,6 +556,285 @@ def run_bitrot_sweep(
     return out
 
 
+# ------------------------------------------------- crash/restart sweep
+
+
+@dataclass
+class CrashRestartCell:
+    """One kill/restart: a victim, a kill phase, and what replay found."""
+
+    phase: str
+    victim: str
+    #: Seq of the last applied record and the last fsync barrier at the
+    #: moment of the kill — recovery must land in [synced_seq, last_seq].
+    last_seq: int
+    synced_seq: int
+    recovered_seq: int
+    records_replayed: int
+    records_skipped: int
+    truncated_bytes: int
+    snapshot_seq: int
+    restored_entries: int
+    #: The recovered state digest matched some committed prefix of the
+    #: pre-crash append history (the core crash-consistency oracle).
+    in_committed_window: bool
+    #: Two read-only replays of the same files produced identical state.
+    replay_idempotent: bool
+
+
+@dataclass
+class CrashRestartReport:
+    """One kill phase's sweep: every cell plus the post-recovery audit."""
+
+    seed: int
+    phase: str
+    cells: List[CrashRestartCell] = field(default_factory=list)
+    lost_files: int = 0
+    lost_file_ids: List[str] = field(default_factory=list)
+    audit_ok: bool = True
+    violations: List[str] = field(default_factory=list)
+    scrub_rounds: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.audit_ok
+            and self.lost_files == 0
+            and all(c.in_committed_window for c in self.cells)
+            and all(c.replay_idempotent for c in self.cells)
+        )
+
+
+def _kill_and_restart(
+    net: PastNetwork,
+    victim: int,
+    phase: str,
+    base: Path,
+    splan: StorageFaultPlan,
+    sync_every: int,
+) -> CrashRestartCell:
+    """kill -9 one node at ``phase``, restart it from its WAL alone."""
+    node = net._past[victim]
+    backend = node.store.backend
+    history = dict(backend.digest_history)
+    last_seq = backend.state.seq
+    synced = backend.synced_seq
+    backend.crash(phase)
+
+    net.crash_node(victim)
+    net.process_failure_detection(victim)
+    # Confirm-reread: failure detection suspends at its rebind RPCs; the
+    # victim must still be down before the survivors repair around it.
+    if victim in net._past:
+        raise RuntimeError("victim resurrected mid-kill")
+    # The survivors restore the k-invariant around the corpse — exactly
+    # what runs during a real recovery period (§3.5).
+    net.repair_all()
+
+    # Restart: a fresh process sees only the disk.  Opening the backend
+    # is recovery (snapshot + replay, torn tail truncated).
+    reborn = WalBackend(
+        base / f"{victim:032x}",
+        node_id=victim,
+        fault_plan=splan,
+        sync_every=sync_every,
+        track_digests=True,
+    )
+    recovered = reborn.state.state_digest(reborn.codec)
+    window = {history[s] for s in range(synced, last_seq + 1) if s in history}
+    # Replay idempotence, checked on the real post-crash files: two
+    # read-only recoveries must agree byte-for-byte.
+    s1, _ = recover_state(Vfs(), reborn.directory, reborn.codec, truncate=False)
+    s2, _ = recover_state(Vfs(), reborn.directory, reborn.codec, truncate=False)
+    idempotent = (
+        s1.seq == s2.seq
+        and s1.state_digest(reborn.codec) == s2.state_digest(reborn.codec)
+        and s1.state_digest(reborn.codec) == recovered
+    )
+
+    # The kill lost RAM: rebuild the in-memory tables from durable state
+    # only, then rejoin.  restore_state bypasses the journal hooks (the
+    # records are already in the WAL), and _reconcile_recovered repairs
+    # whatever the lost unsynced tail made stale.
+    # Confirm-reread: repair_all() suspends at its repair RPCs; the
+    # victim must still be in the failed set before its tables go.
+    if victim not in net._failed_past:
+        raise RuntimeError("victim vanished from the failed set")
+    fallen = net._failed_past[victim]
+    fallen.store.backend = None
+    fallen.store.wipe_disk()
+    restored = fallen.store.restore_state(reborn.state)
+    fallen.store.backend = reborn
+    net.recover_node(victim)
+
+    return CrashRestartCell(
+        phase=phase,
+        victim=hex(victim),
+        last_seq=last_seq,
+        synced_seq=synced,
+        recovered_seq=reborn.state.seq,
+        records_replayed=reborn.recovery.records_replayed,
+        records_skipped=reborn.recovery.records_skipped,
+        truncated_bytes=reborn.recovery.truncated_bytes,
+        snapshot_seq=reborn.recovery.snapshot_seq,
+        restored_entries=restored,
+        in_committed_window=recovered in window,
+        replay_idempotent=idempotent,
+    )
+
+
+def _run_crash_restart_phase(
+    seed: int,
+    phase: str,
+    victims_per_phase: int,
+    n_nodes: int,
+    n_files: int,
+    k: int,
+    sync_every: int,
+) -> CrashRestartReport:
+    rng = random.Random(derive_seed(seed, f"crash-restart-{phase}"))
+    base = Path(tempfile.mkdtemp(prefix="past-crash-restart-"))
+    splan = StorageFaultPlan(seed=derive_seed(seed, "crash-restart-disk"))
+
+    def factory(node_id: int, _installed) -> WalBackend:
+        # sync_every > 1 opens a real crash window: the unsynced tail is
+        # what before-fsync loses and torn-fsync tears mid-record.
+        return WalBackend(
+            base / f"{node_id:032x}",
+            node_id=node_id,
+            fault_plan=splan,
+            sync_every=sync_every,
+            track_digests=True,
+        )
+
+    report = CrashRestartReport(seed=seed, phase=phase)
+    try:
+        cfg = ChaosConfig(seed=seed, n_nodes=n_nodes, n_files=n_files, k=k)
+        net = _build_deployment(cfg, rng, backend_factory=factory)
+        sim = EventSimulator(trace=ScheduleTrace())
+        scrubber = AntiEntropyScrubber(sim, net, interval=5.0, seed=seed)
+        owner = net.create_client("crash-restart")
+
+        victims = sorted(net.pastry.node_ids)
+        rng.shuffle(victims)
+        extra = 0
+        for victim in victims[:victims_per_phase]:
+            # Churn between kills so every WAL carries fresh records —
+            # including an unsynced tail for the kill to bite into.
+            for _ in range(3):
+                # Confirm-reread: the previous insert (and the previous
+                # victim's whole kill/restart) suspend; pick the insert
+                # origin from the overlay as it is *now*.
+                if not net.pastry.node_ids:
+                    break
+                live = net.pastry.node_ids
+                size = min(int(rng.lognormvariate(7.2, 1.5)) + 1, 50_000)
+                net.insert(
+                    f"churn{extra}", owner, size,
+                    live[rng.randrange(len(live))],
+                )
+                extra += 1
+            net.run_migration()
+            cell = _kill_and_restart(net, victim, phase, base, splan, sync_every)
+            # Confirm-reread: the kill/restart suspended throughout; one
+            # cell per victim, whatever interleaved.
+            assert cell not in report.cells
+            report.cells.append(cell)
+
+        # Confirm-reread: every victim restart above suspended; make sure
+        # the overlay still has live members before the final repair.
+        if not net.pastry.node_ids:
+            raise RuntimeError("overlay emptied out during the sweep")
+        net.repair_all()
+        # Integrity fixpoint, as in run_chaos: two rounds so round-one
+        # re-replications are themselves verified.
+        scrubber.scrub_all()
+        # Confirm-reread: round one suspended at its digest exchanges;
+        # round two only makes sense against the same deployment.
+        if scrubber.network is net:
+            scrubber.scrub_all()
+        report.scrub_rounds = net.integrity.scrub_rounds
+
+        outcome: AuditReport = audit(net, check_overlay=True)
+        report.audit_ok = outcome.ok
+        report.violations = [str(v) for v in outcome.violations]
+        report.lost_files = outcome.lost_files
+        report.lost_file_ids = [
+            hex(fid) for fid in sorted(outcome.lost_file_ids)
+        ]
+        for node in net.nodes():
+            if node.store.backend is not None:
+                node.store.backend.close()
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    return report
+
+
+def run_crash_restart_sweep(
+    seed: int = 0,
+    phases: Optional[Sequence[str]] = None,
+    victims_per_phase: int = 2,
+    n_nodes: int = 14,
+    n_files: int = 16,
+    k: int = 4,
+    sync_every: int = 4,
+) -> List[CrashRestartReport]:
+    """Seeded kill/restart campaign over the durable WAL backend.
+
+    Every node runs a real :class:`~repro.store.WalBackend` (through the
+    Vfs shim, onto real temp files).  For each kill phase — before the
+    fsync barrier, torn mid-flush, after the barrier — the sweep kills
+    seeded victims, restarts each from its journal alone (RAM gone), and
+    rejoins it.  Three oracles, in increasing scope:
+
+    1. the recovered state digest matches some committed prefix of the
+       pre-crash append history (never a state that was never current);
+    2. replay is idempotent on the real post-crash files;
+    3. after recovery + repair + a scrub fixpoint, the global audit is
+       clean with **zero** lost files — a kill that spares a file's
+       other replicas may never cost the file (§3.5's claim, now with
+       the storage plane actually losing its page cache).
+    """
+    phases = list(phases if phases is not None else CRASH_PHASES)
+    return [
+        _run_crash_restart_phase(
+            seed, phase, victims_per_phase, n_nodes, n_files, k, sync_every
+        )
+        for phase in phases
+    ]
+
+
+def durability_bench(
+    reports: List[CrashRestartReport], seed: int
+) -> Dict[str, object]:
+    """The committed BENCH_durability payload: outcome-only, no timing.
+
+    Every field is derived from seeded, hash-seed-free state, so the
+    file is byte-identical across runs and ``PYTHONHASHSEED`` values —
+    CI diffs it directly.
+    """
+    cells = [asdict(c) for r in reports for c in r.cells]
+    payload: Dict[str, object] = {
+        "scenario": "crash_restart",
+        "version": 1,
+        "seed": seed,
+        "phases": [r.phase for r in reports],
+        "cells": len(cells),
+        "kills": len(cells),
+        "lost_files": sum(r.lost_files for r in reports),
+        "audits_ok": all(r.audit_ok for r in reports),
+        "in_committed_window": all(c["in_committed_window"] for c in cells),
+        "replay_idempotent": all(c["replay_idempotent"] for c in cells),
+        "records_replayed": sum(c["records_replayed"] for c in cells),
+        "records_skipped": sum(c["records_skipped"] for c in cells),
+        "truncated_bytes": sum(c["truncated_bytes"] for c in cells),
+        "restored_entries": sum(c["restored_entries"] for c in cells),
+    }
+    blob = json.dumps({"cells": cells, "summary": payload}, sort_keys=True)
+    payload["checksum"] = hashlib.sha256(blob.encode("ascii")).hexdigest()
+    return payload
+
+
 # ------------------------------------------------------------------ CLI
 
 
@@ -587,13 +878,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--scenario",
-        choices=["loss-sweep", "partition", "durability", "bitrot", "all"],
+        choices=[
+            "loss-sweep", "partition", "durability", "bitrot",
+            "crash-restart", "all",
+        ],
         default="all",
+        help="crash-restart runs the durable-WAL kill/restart sweep on "
+             "real temp files and is not part of 'all'",
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--json", action="store_true",
                         help="machine-readable output (stable across runs)")
+    parser.add_argument(
+        "--bench-out", metavar="PATH", default=None,
+        help="(crash-restart only) write the BENCH_durability payload here",
+    )
     args = parser.parse_args(argv)
+
+    if args.scenario == "crash-restart":
+        return _main_crash_restart(args)
 
     reports: List[ChaosReport] = []
     failures: List[str] = []
@@ -665,9 +968,62 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 1 if failures else 0
 
 
-def _combined_digest(reports: List[ChaosReport]) -> str:
-    import hashlib
+def _main_crash_restart(args) -> int:
+    reports = run_crash_restart_sweep(seed=args.seed)
+    bench = durability_bench(reports, args.seed)
+    failures: List[str] = []
+    for r in reports:
+        if r.lost_files:
+            failures.append(
+                f"{r.phase}: lost files with surviving replicas: "
+                + ", ".join(r.lost_file_ids)
+            )
+        if not r.audit_ok:
+            failures.append(f"{r.phase}: post-recovery audit dirty")
+        for c in r.cells:
+            if not c.in_committed_window:
+                failures.append(
+                    f"{r.phase}/{c.victim}: recovered a state outside the "
+                    "committed prefix window"
+                )
+            if not c.replay_idempotent:
+                failures.append(f"{r.phase}/{c.victim}: replay not idempotent")
+    if args.bench_out:
+        out = Path(args.bench_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(bench, sort_keys=True, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(
+            {
+                "seed": args.seed,
+                "reports": [asdict(r) for r in reports],
+                "bench": bench,
+                "failures": failures,
+            },
+            sort_keys=True, indent=2,
+        ))
+    else:
+        for r in reports:
+            tail = " ".join(
+                f"replay={c.records_replayed}+{c.records_skipped}skip"
+                f"/trunc={c.truncated_bytes}B"
+                for c in r.cells
+            )
+            print(
+                f"crash-restart/{r.phase:12s}  kills {len(r.cells)}"
+                f"  lost-files {r.lost_files}"
+                f"  audit {'ok' if r.audit_ok else 'VIOLATED'}  {tail}"
+            )
+        print("bench checksum:", bench["checksum"])
+        if failures:
+            for f in failures:
+                print("FAIL:", f)
+        else:
+            print("all crash-restart oracles satisfied")
+    return 1 if failures else 0
 
+
+def _combined_digest(reports: List[ChaosReport]) -> str:
     h = hashlib.sha256()
     for r in reports:
         h.update(r.digest.encode("ascii"))

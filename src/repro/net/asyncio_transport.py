@@ -134,6 +134,11 @@ class AsyncioTransport:
         #: loopback self-RPC does not deadlock.
         self._locks: Dict[int, threading.RLock] = {}
         self._serving = threading.local()
+        #: In-flight dispatch accounting for graceful shutdown: a drain
+        #: waits for every handler that has entered _dispatch to return
+        #: before the sockets close underneath it.
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-rpc"
         )
@@ -162,6 +167,23 @@ class AsyncioTransport:
         """Stop a node's server (a crashed node stops answering probes)."""
         if node_id in self._ports:
             self._run(self._stop_server(node_id))
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait for every in-flight dispatch to finish; True if it did.
+
+        The graceful-shutdown half of :meth:`close`: handlers that have
+        already entered a node's server finish their work (and their
+        nested RPCs) before the sockets are torn down, so a durable
+        backend never sees a mutation cut off mid-handler.
+        """
+        deadline = time.perf_counter() + timeout
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+        return True
 
     def close(self) -> None:
         """Stop every server and the loop thread."""
@@ -437,6 +459,8 @@ class AsyncioTransport:
     def _dispatch(self, node_id: int, frame: dict) -> dict:
         prev = getattr(self._serving, "node", None)
         self._serving.node = node_id
+        with self._inflight_cv:
+            self._inflight += 1
         try:
             if frame["op"] == "call":
                 with self._node_lock(node_id):
@@ -448,6 +472,9 @@ class AsyncioTransport:
             return {"error": traceback.format_exc()}
         finally:
             self._serving.node = prev
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
 
     def _dispatch_call(self, node_id: int, frame: dict) -> dict:
         node = self.overlay._nodes.get(node_id)

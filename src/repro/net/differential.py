@@ -26,8 +26,10 @@ from __future__ import annotations
 import hashlib
 import json
 import random
+import signal
 import threading
 import time
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.config import PastConfig
@@ -41,6 +43,7 @@ __all__ = [
     "outcome_checksum",
     "run_differential",
     "run_serve",
+    "graceful_shutdown",
 ]
 
 #: Capacity per node: ample, so the differential exercises placement and
@@ -52,13 +55,30 @@ def build_cluster(
     n_nodes: int,
     seed: int,
     engine: str = "sim",
+    data_dir: Optional[Path] = None,
 ) -> Tuple[PastNetwork, Optional[AsyncioTransport]]:
     """One seeded PAST deployment on the chosen transport engine.
 
     ``engine="asyncio"`` swaps the transport *before* any node joins, so
     join-time leafset/routing-table RPCs cross real sockets too.
+
+    ``data_dir`` makes every node's store durable: each LocalStore is
+    born with a :class:`~repro.store.WalBackend` journaling to
+    ``data_dir/<node_id>``, fsyncing every record (``sync_every=1``) —
+    a killed process loses nothing that was acknowledged.
     """
     net = PastNetwork(config=PastConfig(seed=seed))
+    if data_dir is not None:
+        from ..store import WalBackend
+
+        base = Path(data_dir)
+
+        def factory(node_id: int, _installed) -> WalBackend:
+            return WalBackend(
+                base / f"{node_id:032x}", node_id=node_id, sync_every=1
+            )
+
+        net.store_backend_factory = factory
     transport: Optional[AsyncioTransport] = None
     if engine == "asyncio":
         transport = AsyncioTransport(net.pastry)
@@ -189,12 +209,83 @@ def run_differential(
 # -------------------------------------------------------------- serve bench
 
 
+def graceful_shutdown(
+    transport: AsyncioTransport, net: PastNetwork, timeout: float = 10.0
+) -> Dict[str, Any]:
+    """Drain in-flight dispatches, close sockets, flush durable state.
+
+    The SIGTERM/KeyboardInterrupt path of ``repro serve``: handlers
+    already inside a node finish (with their nested RPCs) before the
+    servers close, then every WAL backend takes a final fsync barrier —
+    the restarted process recovers exactly the acknowledged state.
+    """
+    drained = transport.drain(timeout=timeout)
+    transport.close()
+    flushed = 0
+    for node in net.nodes():
+        backend = node.store.backend
+        if backend is not None and not backend.closed:
+            backend.close()  # close() flushes first
+            flushed += 1
+    return {"drained": drained, "wals_flushed": flushed}
+
+
+def _restart_from_wal(
+    net: PastNetwork,
+    transport: AsyncioTransport,
+    data_dir: Path,
+    victim: int,
+) -> Dict[str, Any]:
+    """Kill one live node and bring it back from its WAL, over real TCP.
+
+    The same sequence a killed process performs on restart: reopen the
+    journal directory (recovery = snapshot + replay), rebuild the
+    in-memory store from the recovered state, rejoin the overlay.  The
+    surviving nodes see an ordinary failure + recovery.
+    """
+    from ..store import WalBackend
+
+    node = net.past_node_or_none(victim)
+    pre_files = sorted(node.store.file_ids())
+    old = node.store.backend
+    old.crash()  # kill -9: no flush; sync_every=1 means nothing unsynced
+    net.crash_node(victim)
+    transport.stop_server(victim)
+    net.process_failure_detection(victim)
+    net.repair_all()
+
+    reborn = WalBackend(
+        data_dir / f"{victim:032x}", node_id=victim, sync_every=1
+    )
+    fallen = net._failed_past[victim]
+    fallen.store.backend = None
+    fallen.store.wipe_disk()
+    restored = fallen.store.restore_state(reborn.state)
+    # WAL fidelity is judged here, before the overlay reconciles: the
+    # journal must reproduce exactly the pre-kill entry set.  The
+    # recovery listener may then legitimately prune entries whose
+    # responsibility moved while the node was down.
+    recovered_all = sorted(fallen.store.file_ids()) == pre_files
+    fallen.store.backend = reborn
+    net.recover_node(victim)
+    transport.ensure_server(victim)
+    return {
+        "victim": f"{victim:#x}",
+        "entries_before_kill": len(pre_files),
+        "entries_restored": restored,
+        "records_replayed": reborn.recovery.records_replayed,
+        "snapshot_seq": reborn.recovery.snapshot_seq,
+        "recovered_all": recovered_all,
+    }
+
+
 def run_serve(
     n_nodes: int = 16,
     n_files: int = 32,
     seed: int = 1201,
     workers: int = 4,
     lookup_rounds: int = 4,
+    data_dir: Optional[Path] = None,
 ) -> Dict[str, Any]:
     """Boot a real-TCP cluster and serve insert/lookup traffic.
 
@@ -203,14 +294,38 @@ def run_serve(
     over ``workers`` threads, each draining its own shard of the request
     queue against the same live cluster.  Returns a BENCH-style record
     with throughput, wall time, peak RSS and the outcome checksum.
+
+    ``data_dir`` turns on durability: every store journals through a
+    WAL under ``data_dir``, one node is killed after the insert phase
+    and restarted from its journal (the record's ``durability`` section
+    reports the recovery), and shutdown — including SIGTERM or Ctrl-C —
+    drains in-flight dispatches and fsyncs every WAL before exiting.
     """
     t_wall = time.perf_counter()
-    net, transport = build_cluster(n_nodes, seed, engine="asyncio")
+    net, transport = build_cluster(
+        n_nodes, seed, engine="asyncio", data_dir=data_dir
+    )
     assert transport is not None
+    interrupted = False
+
+    def _raise_interrupt(_sig, _frm):
+        raise KeyboardInterrupt
+
+    prev_term = None
+    if threading.current_thread() is threading.main_thread():
+        prev_term = signal.signal(signal.SIGTERM, _raise_interrupt)
+    durability: Optional[Dict[str, Any]] = None
+    record: Optional[Dict[str, Any]] = None
     try:
         t_insert = time.perf_counter()
         workload = run_workload(net, n_files, seed=seed + 1, join_extra=2)
         insert_s = time.perf_counter() - t_insert
+
+        if data_dir is not None:
+            victim = min(net.pastry.node_ids)
+            durability = _restart_from_wal(
+                net, transport, Path(data_dir), victim
+            )
 
         fids = [r.file_id for r in workload["inserts"] if r.success]
         client_ids = net.pastry.node_ids
@@ -243,7 +358,7 @@ def run_serve(
         checksum, view = outcome_checksum(net, workload)
         wall_s = time.perf_counter() - t_wall
         ops = len(workload["inserts"]) + len(requests)
-        return {
+        record = {
             "version": 1,
             "scenario": "serve",
             "op_kind": "insert+lookup",
@@ -263,8 +378,29 @@ def run_serve(
                 "peak_rss_kb": _peak_rss_kb(),
             },
         }
+        # Durable-only keys: a plain (in-memory) serve record stays
+        # byte-compatible with the committed BENCH_serve.json.
+        if durability is not None:
+            record["durability"] = durability
+        return record
+    except KeyboardInterrupt:
+        interrupted = True
+        record = {
+            "version": 1,
+            "scenario": "serve",
+            "engine": "asyncio-tcp",
+            "seed": seed,
+            "interrupted": True,
+        }
+        return record
     finally:
-        transport.close()
+        shutdown = graceful_shutdown(transport, net)
+        # Mutating the record in the finally block is visible to the
+        # caller: the return value is already bound to this dict.
+        if record is not None and (interrupted or data_dir is not None):
+            record["shutdown"] = shutdown
+        if prev_term is not None:
+            signal.signal(signal.SIGTERM, prev_term)
 
 
 def _peak_rss_kb() -> Optional[int]:

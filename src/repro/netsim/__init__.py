@@ -19,6 +19,10 @@ from .eventsim import (
 )
 from .trace import Decision, ScheduleTrace, TraceEvent
 from .faults import (
+    CRASH_AFTER_FSYNC,
+    CRASH_BEFORE_FSYNC,
+    CRASH_PHASES,
+    CRASH_TORN_FSYNC,
     DISK_FAILING,
     DISK_OK,
     DISK_READONLY,
@@ -27,6 +31,7 @@ from .faults import (
     READ_ERROR,
     READ_OK,
     CrashEvent,
+    CrashPoint,
     DiskModeEvent,
     FaultPlan,
     FaultStats,
@@ -40,7 +45,12 @@ __all__ = [
     "SphereTopology",
     "TorusTopology",
     "ClusteredTopology",
+    "CRASH_AFTER_FSYNC",
+    "CRASH_BEFORE_FSYNC",
+    "CRASH_PHASES",
+    "CRASH_TORN_FSYNC",
     "CrashEvent",
+    "CrashPoint",
     "DISK_FAILING",
     "DISK_OK",
     "DISK_READONLY",

@@ -1,0 +1,185 @@
+"""Crash recovery: snapshot load + WAL replay, torn tail truncated.
+
+The durable state of a replica store is *logical*: which replicas this
+node holds (certificate + diverted flag) and which diversion pointers it
+serves (certificate + target + primary flag).  :class:`StoreState` is
+that state plus the sequence number of the last applied record; the WAL
+is a total order of :data:`OPS` records over it.
+
+Recovery protocol (:func:`recover_state`):
+
+1. Load the snapshot, if one exists and its checksum verifies — it
+   pins ``(state, seq)`` at the last completed compaction.  A snapshot
+   that fails its checksum is ignored wholesale (the atomic-rename
+   compaction protocol makes this unreachable except under direct file
+   corruption; the WAL then still holds every record since genesis).
+2. Replay the WAL in order, skipping records at or below the snapshot's
+   seq (the pre-compaction tail a crash between rename and truncate
+   leaves behind) and stopping at the first torn or corrupt record.
+3. Truncate the WAL at that record's offset — a torn tail is removed,
+   never propagated into state or re-served to a later replay.
+
+Replay is idempotent by construction: records are applied strictly in
+seq order and a second :func:`recover_state` over the same files visits
+the same records, so its state digest is byte-identical — the property
+the crash-restart sweep's oracle pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+from ..net.codec import CodecError, WireCodec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..security import FileCertificate
+    from .vfs import Vfs
+
+__all__ = ["OPS", "RecoveryInfo", "StoreState", "recover_state"]
+
+#: WAL record operations.  A record on the wire is
+#: ``[seq, op, *args]`` encoded by the PR-8 WireCodec; the op strings
+#: are part of the on-disk format — never reuse or renumber.
+OP_STORE = "store"
+OP_DROP = "drop"
+OP_POINTER = "pointer"
+OP_DROP_POINTER = "drop-pointer"
+OP_PRIMARY_FLAG = "primary-flag"
+OP_WIPE = "wipe"
+
+OPS = (OP_STORE, OP_DROP, OP_POINTER, OP_DROP_POINTER, OP_PRIMARY_FLAG, OP_WIPE)
+
+
+class StoreState:
+    """The logical durable state: replicas + pointers + last seq."""
+
+    __slots__ = ("replicas", "pointers", "seq")
+
+    def __init__(self) -> None:
+        #: fid -> (certificate, diverted)
+        self.replicas: Dict[int, Tuple["FileCertificate", bool]] = {}
+        #: fid -> (certificate, target_id, primary)
+        self.pointers: Dict[int, Tuple["FileCertificate", int, bool]] = {}
+        self.seq = 0
+
+    # ------------------------------------------------------------- records
+
+    def apply(self, record: List) -> None:
+        """Apply one decoded WAL record; advances ``seq``."""
+        seq, op = record[0], record[1]
+        if op == OP_STORE:
+            cert, diverted = record[2], record[3]
+            self.replicas[cert.file_id] = (cert, bool(diverted))
+        elif op == OP_DROP:
+            self.replicas.pop(record[2], None)
+        elif op == OP_POINTER:
+            cert, target_id, primary = record[2], record[3], record[4]
+            self.pointers[cert.file_id] = (cert, target_id, bool(primary))
+        elif op == OP_DROP_POINTER:
+            self.pointers.pop(record[2], None)
+        elif op == OP_PRIMARY_FLAG:
+            fid, primary = record[2], record[3]
+            entry = self.pointers.get(fid)
+            if entry is not None:
+                self.pointers[fid] = (entry[0], entry[1], bool(primary))
+        elif op == OP_WIPE:
+            self.replicas.clear()
+            self.pointers.clear()
+        else:
+            raise CodecError(f"unknown WAL op {op!r}")
+        self.seq = seq
+
+    # ------------------------------------------------------------ identity
+
+    def canonical(self) -> list:
+        """A codec-encodable canonical view (sorted, hash-seed free)."""
+        return [
+            [
+                [fid, cert, diverted]
+                for fid, (cert, diverted) in sorted(self.replicas.items())
+            ],
+            [
+                [fid, cert, target, primary]
+                for fid, (cert, target, primary) in sorted(self.pointers.items())
+            ],
+        ]
+
+    def state_digest(self, codec: Optional[WireCodec] = None) -> str:
+        """sha256 over the canonical encoding (excludes ``seq``: two
+        replays that converge to the same logical state are equal even
+        if compaction collapsed their histories differently)."""
+        codec = codec if codec is not None else WireCodec()
+        return sha256(codec.encode(self.canonical())).hexdigest()
+
+
+@dataclass
+class RecoveryInfo:
+    """What one recovery pass found and did."""
+
+    snapshot_seq: int = 0
+    records_replayed: int = 0
+    records_skipped: int = 0
+    #: Bytes chopped off the WAL tail (0 = the log was clean).
+    truncated_bytes: int = 0
+    #: The snapshot existed but failed its checksum and was ignored.
+    snapshot_corrupt: bool = False
+    violations: List[str] = field(default_factory=list)
+
+
+def recover_state(
+    vfs: "Vfs",
+    directory: Union[str, Path],
+    codec: Optional[WireCodec] = None,
+    truncate: bool = True,
+) -> Tuple[StoreState, RecoveryInfo]:
+    """Rebuild a :class:`StoreState` from a backend directory.
+
+    ``truncate=False`` runs a read-only recovery (the double-replay
+    idempotence oracle re-reads the files without touching them).
+    """
+    from .snapshot import SNAPSHOT_FILE, load_snapshot
+    from .wal import WAL_FILE, scan_frames
+
+    codec = codec if codec is not None else WireCodec()
+    directory = Path(directory)
+    info = RecoveryInfo()
+    state = StoreState()
+
+    snap_path = directory / SNAPSHOT_FILE
+    if vfs.exists(snap_path):
+        loaded = load_snapshot(vfs, snap_path, codec)
+        if loaded is None:
+            info.snapshot_corrupt = True
+            info.violations.append("snapshot failed its checksum; ignored")
+        else:
+            state = loaded
+            info.snapshot_seq = state.seq
+
+    wal_path = directory / WAL_FILE
+    if vfs.exists(wal_path):
+        blob = vfs.read_bytes(wal_path)
+        frames, clean_length = scan_frames(blob)
+        for offset, payload in frames:
+            try:
+                record = codec.decode(payload)
+            except CodecError:
+                # Checksummed-but-undecodable: treat like a torn record —
+                # everything from its offset on is untrusted.
+                clean_length = offset
+                info.violations.append(
+                    f"undecodable WAL record at offset {offset}"
+                )
+                break
+            if record[0] <= state.seq:
+                info.records_skipped += 1
+                continue
+            state.apply(record)
+            info.records_replayed += 1
+        if clean_length < len(blob):
+            info.truncated_bytes = len(blob) - clean_length
+            if truncate:
+                vfs.truncate(wal_path, clean_length)
+    return state, info

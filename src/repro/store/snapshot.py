@@ -1,0 +1,74 @@
+"""Snapshot = one checksummed frame holding the full logical state.
+
+A snapshot file is a single WAL-style frame (length + crc32 header, see
+:mod:`repro.store.wal`) whose payload is ``[seq, canonical_state]`` —
+the compaction watermark plus the sorted replica/pointer view that
+:meth:`StoreState.canonical` produces.  Publication is crash-safe by
+construction: the frame is written to a temp file, fsynced, then
+atomically renamed over the live snapshot (``Vfs.replace`` also fsyncs
+the directory), so a reader only ever sees the old snapshot or the new
+one, never a prefix.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from ..net.codec import CodecError, WireCodec
+from .recovery import StoreState
+from .wal import frame_record, scan_frames
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .vfs import Vfs
+
+__all__ = ["SNAPSHOT_FILE", "load_snapshot", "write_snapshot"]
+
+SNAPSHOT_FILE = "snapshot.bin"
+_TMP_SUFFIX = ".tmp"
+
+
+def write_snapshot(
+    vfs: "Vfs",
+    directory: Union[str, Path],
+    state: StoreState,
+    codec: Optional[WireCodec] = None,
+) -> Path:
+    """Durably publish ``state`` as ``directory/snapshot.bin``."""
+    codec = codec if codec is not None else WireCodec()
+    directory = Path(directory)
+    final = directory / SNAPSHOT_FILE
+    tmp = directory / (SNAPSHOT_FILE + _TMP_SUFFIX)
+    payload = codec.encode([state.seq, state.canonical()])
+    fh = vfs.open_append(tmp, truncate=True)
+    fh.write(frame_record(payload))
+    fh.close()  # flushes: tmp is durable before the rename publishes it
+    vfs.replace(tmp, final)
+    return final
+
+
+def load_snapshot(
+    vfs: "Vfs", path: Union[str, Path], codec: Optional[WireCodec] = None
+) -> Optional[StoreState]:
+    """Rebuild a :class:`StoreState` from a snapshot file.
+
+    Returns ``None`` if the file is torn, fails its checksum, or does
+    not decode — recovery then falls back to full WAL replay.
+    """
+    codec = codec if codec is not None else WireCodec()
+    blob = vfs.read_bytes(path)
+    frames, clean_length = scan_frames(blob)
+    if not frames or clean_length != len(blob):
+        return None
+    try:
+        seq, canonical = codec.decode(frames[0][1])
+    except (CodecError, ValueError, TypeError):
+        return None
+    state = StoreState()
+    replicas, pointers = canonical
+    for fid, cert, diverted in replicas:
+        state.replicas[fid] = (cert, bool(diverted))
+    for fid, cert, target, primary in pointers:
+        state.pointers[fid] = (cert, target, bool(primary))
+    state.seq = seq
+    return state

@@ -303,3 +303,222 @@ class TestReconcileRecoveredConfirmReread:
         node.request_repair = lambda fid: (repaired.append(fid), orig(fid))[1]
         net.recover_node(node.node_id)
         assert set(snapshot) <= set(repaired)
+
+
+class TestFailureDetectionReferrerConfirmReread:
+    """process_failure_detection's referrer loop: the first referrer's
+    failover suspends at its re-replication RPCs; a referrer that dropped
+    its pointer in that window must not be delivered a failure it already
+    handled."""
+
+    def wire_two_referrers(self, seed=70):
+        net, fids = build_loaded(seed=seed)
+        fid = fids[0]
+        target = holders_of(net, fid)[0]
+        cert = net.certificate_of(fid)
+        others = [
+            n for n in net.nodes()
+            if n is not target and not n.store.references_file(fid)
+        ]
+        a, b = others[0], others[1]
+        a.store.add_pointer(cert, target.node_id, primary=True)
+        b.store.add_pointer(cert, target.node_id, primary=False)
+        replica = target.store.get_replica(fid)
+        replica.referrers.add(a.node_id)
+        replica.referrers.add(b.node_id)
+        return net, fid, target, a, b
+
+    def test_referrer_that_dropped_its_pointer_mid_failover_is_skipped(
+        self, monkeypatch
+    ):
+        from repro.core.node import PastNode
+
+        net, fid, target, a, b = self.wire_two_referrers()
+        first, second = sorted([a, b], key=lambda n: n.node_id)
+        delivered = []
+        orig = PastNode.on_diverted_target_failed
+
+        def wrapped(self, fid_):
+            if fid_ == fid and self in (a, b):
+                delivered.append(self.node_id)
+                if self is first:
+                    # Interleaved failover: the other referrer's own path
+                    # retires its pointer while this RPC is in flight.
+                    second.store.drop_pointer(fid)
+            return orig(self, fid_)
+
+        monkeypatch.setattr(PastNode, "on_diverted_target_failed", wrapped)
+        net.crash_node(target.node_id)
+        net.process_failure_detection(target.node_id)
+        assert delivered == [first.node_id], (
+            "a referrer without a pointer was delivered a stale failure"
+        )
+
+    def test_both_referrers_delivered_when_nothing_interleaves(
+        self, monkeypatch
+    ):
+        from repro.core.node import PastNode
+
+        net, fid, target, a, b = self.wire_two_referrers()
+        delivered = []
+        orig = PastNode.on_diverted_target_failed
+
+        def wrapped(self, fid_):
+            if fid_ == fid and self in (a, b):
+                delivered.append(self.node_id)
+            return orig(self, fid_)
+
+        monkeypatch.setattr(PastNode, "on_diverted_target_failed", wrapped)
+        net.crash_node(target.node_id)
+        net.process_failure_detection(target.node_id)
+        assert sorted(delivered) == sorted([a.node_id, b.node_id])
+
+
+class TestFailureDetectionPointerConfirmReread:
+    """process_failure_detection's pointer loop: earlier deliveries
+    suspend at their pointer-rebind RPCs; a target that shed the replica
+    in that window must not be told about the dead referrer."""
+
+    def wire_two_pointers(self, seed=70):
+        net, fids = build_loaded(n_files=6, seed=seed)
+        f1, f2 = fids[0], fids[1]
+        t1 = holders_of(net, f1)[0]
+        t2 = next(h for h in holders_of(net, f2) if h is not t1)
+        referrer = next(
+            n for n in net.nodes()
+            if n not in (t1, t2)
+            and not n.store.references_file(f1)
+            and not n.store.references_file(f2)
+        )
+        for fid, tgt in ((f1, t1), (f2, t2)):
+            cert = net.certificate_of(fid)
+            referrer.store.add_pointer(cert, tgt.node_id, primary=False)
+            tgt.store.get_replica(fid).referrers.add(referrer.node_id)
+        return net, referrer, (f1, t1), (f2, t2)
+
+    def test_target_that_shed_replica_mid_rebind_is_skipped(self, monkeypatch):
+        from repro.core.node import PastNode
+
+        net, referrer, (f1, t1), (f2, t2) = self.wire_two_pointers()
+        delivered = []
+        orig = PastNode.on_referrer_failed
+
+        def wrapped(self, fid, failed_id, failed_was_primary):
+            if fid in (f1, f2) and failed_id == referrer.node_id:
+                delivered.append((self.node_id, fid))
+                if self is t1 and fid == f1:
+                    # While t1's rebind is in flight, t2 sheds its copy
+                    # (migration or a concurrent repair absorbed it).
+                    t2.store.drop_replica(f2)
+            return orig(self, fid, failed_id, failed_was_primary)
+
+        monkeypatch.setattr(PastNode, "on_referrer_failed", wrapped)
+        net.crash_node(referrer.node_id)
+        net.process_failure_detection(referrer.node_id)
+        assert (t1.node_id, f1) in delivered
+        assert (t2.node_id, f2) not in delivered, (
+            "a target without the replica was told about a dead referrer"
+        )
+
+    def test_both_targets_delivered_when_nothing_interleaves(self, monkeypatch):
+        from repro.core.node import PastNode
+
+        net, referrer, (f1, t1), (f2, t2) = self.wire_two_pointers()
+        delivered = []
+        orig = PastNode.on_referrer_failed
+
+        def wrapped(self, fid, failed_id, failed_was_primary):
+            if fid in (f1, f2) and failed_id == referrer.node_id:
+                delivered.append((self.node_id, fid))
+            return orig(self, fid, failed_id, failed_was_primary)
+
+        monkeypatch.setattr(PastNode, "on_referrer_failed", wrapped)
+        net.crash_node(referrer.node_id)
+        net.process_failure_detection(referrer.node_id)
+        assert (t1.node_id, f1) in delivered
+        assert (t2.node_id, f2) in delivered
+
+
+class TestMaintainAfterJoinConfirmReread:
+    """_maintain_after_join: _restore_file_invariant suspends at its
+    repair RPCs; a displaced holder whose primary was dropped in that
+    window must not be prompted to discard."""
+
+    def stage(self, seed=70):
+        from repro.pastry import idspace as ids
+
+        net, fids = build_loaded(seed=seed)
+        for fid in fids:
+            holder = holders_of(net, fid)[0]
+            key = ids.routing_key(fid)
+            cert = holder.store.certificate_for(fid)
+            kset = holder.leafset.closest_nodes(key, cert.k)
+            if holder.node_id not in kset:
+                continue
+            new_id = next((m for m in kset if m != holder.node_id), None)
+            if new_id is None:
+                continue
+            displaced = holder._displaced_member(key, kset, new_id, cert.k)
+            if displaced is None:
+                continue
+            displaced_node = net.past_node_or_none(displaced)
+            if displaced_node is None or displaced_node.store.holds_file(fid):
+                continue
+            if not displaced_node.store.can_accept(
+                cert.size, displaced_node.config.t_pri
+            ):
+                continue
+            displaced_node.store.store_replica(cert, diverted=False)
+            return net, fid, holder, new_id, displaced_node
+        raise AssertionError("no displaceable holder at this seed")
+
+    def test_displaced_primary_dropped_mid_restore_skips_discard(
+        self, monkeypatch
+    ):
+        from repro.core.node import PastNode
+
+        net, fid, holder, new_id, displaced_node = self.stage()
+        orig_restore = PastNode._restore_file_invariant
+
+        def restore_and_interleave(self, fid_, newcomer_id=None):
+            result = orig_restore(self, fid_, newcomer_id=newcomer_id)
+            if fid_ == fid and newcomer_id == new_id:
+                # A concurrent repair retires the displaced holder's
+                # copy while the restore RPCs are in flight.
+                displaced_node.store.drop_replica(fid)
+            return result
+
+        discards = []
+        orig_discard = PastNode.maybe_discard
+
+        def counting_discard(self, fid_):
+            if self is displaced_node and fid_ == fid:
+                discards.append(fid_)
+            return orig_discard(self, fid_)
+
+        monkeypatch.setattr(
+            PastNode, "_restore_file_invariant", restore_and_interleave
+        )
+        monkeypatch.setattr(PastNode, "maybe_discard", counting_discard)
+        holder._maintain_after_join(new_id)
+        assert discards == [], (
+            "a holder without the primary was prompted to discard"
+        )
+
+    def test_displaced_holder_prompted_when_nothing_interleaves(
+        self, monkeypatch
+    ):
+        from repro.core.node import PastNode
+
+        net, fid, holder, new_id, displaced_node = self.stage()
+        discards = []
+        orig_discard = PastNode.maybe_discard
+
+        def counting_discard(self, fid_):
+            if self is displaced_node and fid_ == fid:
+                discards.append(fid_)
+            return orig_discard(self, fid_)
+
+        monkeypatch.setattr(PastNode, "maybe_discard", counting_discard)
+        holder._maintain_after_join(new_id)
+        assert discards == [fid]

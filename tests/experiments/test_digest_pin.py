@@ -47,3 +47,48 @@ class TestFaultFreeDigestsAreByteIdentical:
 
     def test_explorer_chaos_scenario_pin(self):
         assert SCENARIOS["chaos"](7).trace.digest() == EXPLORE_CHAOS_PIN
+
+
+class TestBackendSeamIsPureRefactor:
+    """Installing the default backend on every store must not move a
+    single byte of any pinned schedule: the seam's hook sites are
+    attribute checks only, and :class:`MemoryBackend` observes without
+    acting.  If one of these fails while the bare-store pins above
+    still pass, a ``note_*`` hook grew a side effect."""
+
+    def _force_memory_backend(self, monkeypatch):
+        from repro.core.network import PastNetwork
+        from repro.store import MemoryBackend
+
+        orig_init = PastNetwork.__init__
+
+        def init_with_backend(self, *args, **kwargs):
+            orig_init(self, *args, **kwargs)
+            self.store_backend_factory = lambda node_id, plan: MemoryBackend()
+
+        monkeypatch.setattr(PastNetwork, "__init__", init_with_backend)
+
+    def test_chaos_loss_pin_with_memory_backend(self, monkeypatch):
+        self._force_memory_backend(monkeypatch)
+        report = run_chaos(
+            ChaosConfig(seed=3, n_nodes=14, n_files=10, k=3, duration=8.0,
+                        lookups_per_tick=4, loss=0.2,
+                        policy=RetryPolicy(max_attempts=4)),
+            scenario="pin",
+        )
+        assert report.digest == CHAOS_LOSS_PIN
+
+    def test_chaos_crash_pin_with_memory_backend(self, monkeypatch):
+        self._force_memory_backend(monkeypatch)
+        report = run_chaos(
+            ChaosConfig(seed=3, n_nodes=14, n_files=10, k=3, duration=12.0,
+                        lookups_per_tick=4, crash_count=2,
+                        crash_interarrival=3.0),
+            scenario="pin-crash",
+        )
+        assert report.digest == CHAOS_CRASH_PIN
+
+    def test_explorer_pins_with_memory_backend(self, monkeypatch):
+        self._force_memory_backend(monkeypatch)
+        assert SCENARIOS["churn"](7).trace.digest() == EXPLORE_CHURN_PIN
+        assert SCENARIOS["chaos"](7).trace.digest() == EXPLORE_CHAOS_PIN

@@ -281,6 +281,41 @@ def cmd_serve(args) -> str:
     from .net.differential import run_differential, run_serve
 
     lines = []
+    if args.chaos:
+        from .experiments.live_chaos import (
+            LiveChaosConfig, live_chaos_bench, run_live_sweep,
+        )
+
+        report = run_live_sweep(LiveChaosConfig(seed=args.seed))
+        bench = live_chaos_bench(report)
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(bench, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            lines.append(f"bench written to {args.out}")
+        lines.append(
+            f"live chaos on {report.nodes} nodes / {report.files} files: "
+            f"lookups {report.lookups_succeeded}/{report.lookups_attempted} "
+            f"(steady {report.steady_succeeded}/{report.steady_attempted}, "
+            f"degraded {report.degraded_succeeded}/{report.degraded_attempted})"
+        )
+        lines.append(
+            f"injected: {report.injected}  observed: {report.wire}"
+        )
+        lines.append(
+            f"kills {report.kills_applied}  restarts {report.restarts_applied} "
+            f"(recovered_all={report.recovered_all})  "
+            f"lost files {report.lost_files}  "
+            f"audit {'ok' if report.audit_ok else 'VIOLATED'}  "
+            f"parity {'ok' if report.parity.get('ok') else 'DIVERGED'}"
+        )
+        failures = report.oracle_failures()
+        lines.append(
+            "all live chaos oracles satisfied" if not failures
+            else "FAIL: " + "; ".join(failures)
+        )
+        lines.append(f"bench checksum: {bench['checksum']}")
+        return "\n".join(lines)
     if args.differential:
         diff = run_differential(
             n_nodes=min(args.nodes, 16), n_files=args.files, seed=args.seed
@@ -381,6 +416,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--data-dir", metavar="DIR", default=None,
                        help="journal every node's store to a WAL under DIR; "
                             "a killed node restarts from its journal")
+    serve.add_argument("--chaos", action="store_true",
+                       help="run the live chaos harness instead: seeded "
+                            "socket-level loss/partition/reset injection "
+                            "plus mid-traffic kills with WAL restarts, "
+                            "judged by the sim sweeps' oracles")
     return parser
 
 

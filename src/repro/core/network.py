@@ -461,7 +461,8 @@ class PastNetwork:
                 if not (route.lost or route.dropped):
                     break
         finally:
-            self.pastry.randomize_routing = saved
+            if self.pastry.randomize_routing != saved:
+                self.pastry.randomize_routing = saved
         if request is None:  # max_attempts == 1: no retry budget
             request = InsertRequest(cert, client_id, content=content)
             request.failure_reason = "request lost in transit"
@@ -562,6 +563,16 @@ class PastNetwork:
         hedged = False
         route = None
         saved_randomize = self.pastry.randomize_routing
+        # Under a realtime transport the virtual `elapsed` model still
+        # runs (it prices lost messages the paper's way), but the op
+        # deadline additionally binds *wall* time — a live cluster's
+        # delays and reconnect backoffs are real seconds the virtual
+        # model cannot see.  SimTransport has no `realtime` attribute,
+        # so the simulator's path (and its digests) are untouched.
+        wall_start = (
+            self.transport.now()
+            if getattr(self.transport, "realtime", False) else None
+        )
         try:
             for attempt in range(1, policy.max_attempts + 1):
                 if attempt > 1:
@@ -569,6 +580,9 @@ class PastNetwork:
                     if policy.randomize_retries:
                         self.pastry.randomize_routing = True
                 if elapsed > policy.op_deadline:
+                    break
+                if (wall_start is not None
+                        and self.transport.now() - wall_start > policy.op_deadline):
                     break
                 attempts = attempt
                 request = LookupRequest(file_id, client_id)
@@ -594,7 +608,8 @@ class PastNetwork:
                         break
                 elapsed += policy.attempt_timeout
         finally:
-            self.pastry.randomize_routing = saved_randomize
+            if self.pastry.randomize_routing != saved_randomize:
+                self.pastry.randomize_routing = saved_randomize
         success = request.source is not None
         total_hops += request.extra_hops
         if success and not hedged and route is not None:

@@ -76,6 +76,17 @@ class RetryPolicy:
             delay *= 1.0 + self.jitter * rng.random()
         return delay
 
+    def rpc_deadline(self, legs: int = 1) -> float:
+        """Wall-clock deadline for one RPC spanning ``legs`` network legs.
+
+        Real transports (``AsyncioTransport``) derive their per-request
+        deadline from the client's attempt timeout instead of a flat
+        transport-wide constant, so a policy tuned for fast failover
+        also fails its wire RPCs over fast.  Floored so a zero-timeout
+        policy (virtual-time semantics) still gives sockets a beat.
+        """
+        return max(0.05, self.attempt_timeout) * max(1, legs)
+
 
 #: Policy used by the chaos harness's resilient clients.
 DEFAULT_RETRY_POLICY = RetryPolicy()

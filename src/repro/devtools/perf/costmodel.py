@@ -318,6 +318,14 @@ class CostAnalyzer:
         for deco in node.decorator_list:
             name = None
             if isinstance(deco, ast.Call):
+                # @dataclass(slots=True) generates __slots__ itself.
+                if any(
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in deco.keywords
+                ):
+                    has_slots = True
                 deco = deco.func
             if isinstance(deco, ast.Name):
                 name = deco.id

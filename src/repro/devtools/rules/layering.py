@@ -9,7 +9,8 @@ The dependency DAG (low to high)::
     devtools      -> netsim, pastry, core   (the sanitize harness drives
                      a scenario; the static rules import nothing)
     experiments   -> core, pastry, netsim, security, workloads,
-                     erasure, analysis, client
+                     erasure, analysis, client, store, net
+                     (the live chaos harness drives the real transport)
     cli / __main__ / top-level repro  (application shell: anything)
 
 An import edge not in this table — ``repro.pastry`` importing
@@ -40,8 +41,11 @@ LAYER_DEPS: Mapping[str, FrozenSet[str]] = {
     "core": frozenset({"pastry", "netsim", "security"}),
     "store": frozenset({"net", "netsim", "security"}),
     "client": frozenset({"core", "erasure", "security", "pastry", "netsim"}),
+    # net rides along for the live chaos harness: experiments drive the
+    # real transport the same way they drive the simulator.
     "experiments": frozenset(
-        {"core", "pastry", "netsim", "security", "workloads", "erasure", "analysis", "client", "store"}
+        {"core", "pastry", "netsim", "security", "workloads", "erasure",
+         "analysis", "client", "store", "net"}
     ),
 }
 

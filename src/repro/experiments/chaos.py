@@ -880,23 +880,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--scenario",
         choices=[
             "loss-sweep", "partition", "durability", "bitrot",
-            "crash-restart", "all",
+            "crash-restart", "live", "all",
         ],
         default="all",
         help="crash-restart runs the durable-WAL kill/restart sweep on "
-             "real temp files and is not part of 'all'",
+             "real temp files; live runs the same chaos story over a "
+             "real asyncio-TCP cluster with socket-level fault "
+             "injection; neither is part of 'all'",
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--json", action="store_true",
                         help="machine-readable output (stable across runs)")
     parser.add_argument(
         "--bench-out", metavar="PATH", default=None,
-        help="(crash-restart only) write the BENCH_durability payload here",
+        help="(crash-restart/live only) write the BENCH_durability / "
+             "BENCH_live_chaos payload here",
     )
     args = parser.parse_args(argv)
 
     if args.scenario == "crash-restart":
         return _main_crash_restart(args)
+    if args.scenario == "live":
+        return _main_live(args)
 
     reports: List[ChaosReport] = []
     failures: List[str] = []
@@ -1023,11 +1028,68 @@ def _main_crash_restart(args) -> int:
     return 1 if failures else 0
 
 
+def _main_live(args) -> int:
+    # Imported here: the live harness pulls in repro.net (real sockets),
+    # which the sim-only scenarios should not pay for.
+    from .live_chaos import LiveChaosConfig, live_chaos_bench, run_live_sweep
+
+    report = run_live_sweep(LiveChaosConfig(seed=args.seed))
+    bench = live_chaos_bench(report)
+    failures = report.oracle_failures()
+    if args.bench_out:
+        out = Path(args.bench_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(bench, sort_keys=True, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(
+            {
+                "seed": args.seed,
+                "report": asdict(report),
+                "bench": bench,
+                "failures": failures,
+            },
+            sort_keys=True, indent=2,
+        ))
+    else:
+        print(
+            f"live-chaos  nodes {report.nodes}  files {report.files}"
+            f"  lookups {report.lookups_succeeded}/{report.lookups_attempted}"
+            f"  steady {report.steady_succeeded}/{report.steady_attempted}"
+            f"  kills {report.kills_applied}"
+            f"  restarts {report.restarts_applied}"
+            f"  lost-files {report.lost_files}"
+            f"  audit {'ok' if report.audit_ok else 'VIOLATED'}"
+            f"  parity {'ok' if report.parity.get('ok') else 'DIVERGED'}"
+        )
+        print("bench checksum:", bench["checksum"])
+        if failures:
+            for f in failures:
+                print("FAIL:", f)
+        else:
+            print("all live chaos oracles satisfied")
+    return 1 if failures else 0
+
+
 def _combined_digest(reports: List[ChaosReport]) -> str:
     h = hashlib.sha256()
     for r in reports:
         h.update(r.digest.encode("ascii"))
     return h.hexdigest()
+
+
+def __getattr__(name: str):
+    """Lazy re-export of the live (real-TCP) chaos harness.
+
+    ``repro.experiments.chaos.run_live_sweep`` is the documented entry
+    point, but importing :mod:`repro.net` (sockets, codec) is deferred
+    so the sim-only scenarios never pay for it.
+    """
+    if name in ("LiveChaosConfig", "LiveChaosReport", "run_live_sweep",
+                "live_chaos_bench"):
+        from . import live_chaos
+
+        return getattr(live_chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests

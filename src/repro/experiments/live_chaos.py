@@ -1,0 +1,437 @@
+"""Live-cluster chaos: the sim chaos oracles over real asyncio TCP.
+
+:mod:`repro.experiments.chaos` proves the §2.3/§3.5 robustness claims
+inside the deterministic simulator; this module re-runs the same story
+against the production-shaped plane: a localhost TCP cluster
+(:class:`~repro.net.asyncio_transport.AsyncioTransport`) with WAL-durable
+stores, a seeded :class:`~repro.net.faults.WireFaultPlan` injecting 10%
+message loss, a partition with heal, connection resets mid-frame and
+duplicated frames at the socket layer, and a kill schedule that stops
+node processes mid-traffic and later restarts them from their journals.
+
+The oracles are the sim sweeps' oracles, verbatim:
+
+* **Availability** — resilient clients (retry + randomized routing +
+  hedged replica fallback) keep lookup success ≥99% under 10% loss,
+  judged over the steady rounds (the sim loss-sweep's population);
+  rounds with an undetected corpse or an active partition may degrade,
+  exactly as the sim's partition-heal scenario documents, and answer to
+  the durability/audit oracles instead.
+* **Durability** — after heal + failure detection + repair, every
+  inserted file is retrievable (zero lost files) and each WAL restart
+  recovered exactly the pre-kill entry set.
+* **Consistency** — the post-heal invariant audit is clean.
+* **Parity** — the same :class:`~repro.netsim.faults.FaultSpec` driven
+  through the sim and wire fault planes yields the identical
+  loss/partition verdict sequence (:func:`repro.net.faults.decision_parity`),
+  so the two engines agree about *which* adversity they injected.
+
+Determinism: the workload is sequential and single-threaded, the plan's
+clock is the harness's logical round counter (never wall time), every
+injected decision comes from seeded RNGs, and injected losses fail fast
+instead of waiting out real deadlines — so the bench payload
+(:func:`live_chaos_bench`) is byte-identical across runs and
+``PYTHONHASHSEED`` values, and CI diffs it directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import shutil
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core import PastConfig, PastNetwork, RetryPolicy, derive_seed
+from ..core.invariants import audit
+from ..net.differential import build_cluster, graceful_shutdown
+from ..net.faults import WireFaultPlan, decision_parity
+from ..netsim.faults import FaultSpec
+from ..store import WalBackend
+
+__all__ = ["LiveChaosConfig", "LiveChaosReport", "run_live_sweep",
+           "live_chaos_bench"]
+
+
+@dataclass
+class LiveChaosConfig:
+    """One live chaos scenario: cluster, workload, and wire adversity."""
+
+    seed: int = 2201
+    n_nodes: int = 12
+    n_files: int = 18
+    #: Lookup rounds; every round looks up every successfully inserted
+    #: file once, from a seeded-random live client.
+    lookup_rounds: int = 6
+    #: Uniform per-leg loss probability (the sim sweep's headline rate).
+    loss: float = 0.10
+    #: Mean injected per-leg delay (seconds of real sleep; exponential).
+    delay_mean: float = 0.001
+    #: Per-leg duplication probability on route legs.
+    duplicate: float = 0.02
+    #: Wire-only probability a surviving leg is torn mid-frame.
+    reset: float = 0.02
+    #: Seeded process kills (with WAL restart two rounds later).
+    kills: int = 2
+    #: Logical round the partition activates / heals at.
+    partition_round: float = 4.0
+    partition_heal_round: float = 5.0
+    #: Client resilience; also derives the transport's RPC deadlines.
+    policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(max_attempts=6)
+    )
+
+
+@dataclass
+class LiveChaosReport:
+    """Everything one live chaos run measured, JSON-serializable."""
+
+    scenario: str
+    seed: int
+    nodes: int
+    files: int
+    rounds: int
+    inserts_attempted: int = 0
+    inserts_succeeded: int = 0
+    lookups_attempted: int = 0
+    lookups_succeeded: int = 0
+    #: Lookups issued in rounds where only link loss was active — the
+    #: population the sim loss-sweep's ≥99% oracle covers.  Rounds with
+    #: an undetected corpse or an active partition are *degraded*:
+    #: availability may dip there (the sim's partition-heal scenario
+    #: documents the same), and the oracles for those rounds are
+    #: durability + audit, judged post-heal.
+    steady_attempted: int = 0
+    steady_succeeded: int = 0
+    degraded_attempted: int = 0
+    degraded_succeeded: int = 0
+    #: Per-round ledger: (round, kind, succeeded, attempted).
+    round_ledger: List[List[object]] = field(default_factory=list)
+    total_attempts: int = 0
+    hedged_successes: int = 0
+    kills_applied: int = 0
+    restarts_applied: int = 0
+    #: Every WAL restart recovered exactly the pre-kill entry set.
+    recovered_all: bool = True
+    #: Post-heal durability oracle: inserted files a resilient client
+    #: could not retrieve after quiescence.
+    lost_files: int = 0
+    lost_file_ids: List[str] = field(default_factory=list)
+    audit_ok: bool = True
+    violations: List[str] = field(default_factory=list)
+    #: Injected-fault counters (the plan's view of what it did).
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: Classified observed-failure counters (the transport's view).
+    wire: Dict[str, int] = field(default_factory=dict)
+    #: Sim-vs-wire verdict parity over the scripted query stream.
+    parity: Dict[str, object] = field(default_factory=dict)
+    #: Graceful-shutdown outcome (drain + WAL flush barrier).
+    shutdown: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def lookup_success(self) -> float:
+        if not self.lookups_attempted:
+            return 1.0
+        return self.lookups_succeeded / self.lookups_attempted
+
+    @property
+    def steady_success(self) -> float:
+        if not self.steady_attempted:
+            return 1.0
+        return self.steady_succeeded / self.steady_attempted
+
+    def oracle_failures(self) -> List[str]:
+        """The sim sweeps' acceptance oracles, applied to the live run.
+
+        Availability (≥99%) is judged over the steady rounds, matching
+        the sim's loss-sweep leg; partition and corpse-window rounds are
+        judged the way the sim's partition-heal and durability scenarios
+        are — zero lost files and a clean audit after heal.
+        """
+        failures = []
+        if self.inserts_succeeded != self.inserts_attempted:
+            failures.append(
+                f"inserts failed under loss: {self.inserts_succeeded}"
+                f"/{self.inserts_attempted}"
+            )
+        if self.steady_success < 0.99:
+            failures.append(
+                "steady-round lookup success under 10% loss fell below "
+                f"99%: {self.steady_success:.4f}"
+            )
+        if self.lost_files:
+            failures.append(
+                "files unretrievable after heal: " + ", ".join(self.lost_file_ids)
+            )
+        if not self.recovered_all:
+            failures.append("a WAL restart lost acknowledged entries")
+        if not self.audit_ok:
+            failures.append("post-heal audit dirty: " + "; ".join(self.violations))
+        if not self.parity.get("ok", False):
+            failures.append(
+                "sim/wire fault-verdict parity diverged at leg "
+                f"{self.parity.get('first_divergence')}"
+            )
+        return failures
+
+
+def _spec_for(cfg: LiveChaosConfig, node_ids: List[int]) -> FaultSpec:
+    """The shared FaultSpec: kills, partition and link noise, seeded.
+
+    Victims and the partitioned minority are disjoint seeded choices, so
+    the partition exercises retry/hedge across a cut while the kill path
+    exercises refused connections and WAL restarts — one failure mode
+    per file is recoverable by construction (k replicas, minority < k).
+    """
+    rng = random.Random(derive_seed(cfg.seed, "live-cast"))
+    ids = sorted(node_ids)
+    victims = rng.sample(ids, cfg.kills)
+    minority_pool = [n for n in ids if n not in victims]
+    minority = rng.sample(minority_pool, max(2, len(ids) // 4))
+    crashes = tuple(
+        (1.0 + i, victim, 3.0 + i, False)
+        for i, victim in enumerate(victims)
+    )
+    return FaultSpec(
+        seed=derive_seed(cfg.seed, "live-spec"),
+        loss=cfg.loss,
+        delay_mean=cfg.delay_mean,
+        duplicate=cfg.duplicate,
+        partitions=((cfg.partition_round, cfg.partition_heal_round,
+                     tuple(sorted(minority))),),
+        crashes=crashes,
+    )
+
+
+def _pick_client(net: PastNetwork, rng: random.Random,
+                 down: set) -> int:
+    ids = [n for n in net.pastry.node_ids if n not in down]
+    return ids[rng.randrange(len(ids))]
+
+
+def _kill(net: PastNetwork, transport, victim: int,
+          pre_files: Dict[int, List[int]]) -> None:
+    """Stop a node's process mid-traffic: server gone, WAL crashed.
+
+    The overlay is *not* told yet — traffic this round runs against the
+    corpse (refused connections, severed pooled frames), which is what
+    the client resilience loop is for.  Detection and repair happen at
+    the round boundary, like the sim's probe cycle concluding.
+    """
+    node = net.past_node_or_none(victim)
+    pre_files[victim] = sorted(node.store.file_ids())
+    node.store.backend.crash()
+    transport.kill_server(victim)
+
+
+def _detect(net: PastNetwork, victim: int) -> None:
+    """The round-boundary failure-detection + repair pass for one kill."""
+    net.crash_node(victim)
+    net.process_failure_detection(victim)
+    if victim in net._failed_past:  # confirm the crash registered
+        net.repair_all()
+
+
+def _restart(net: PastNetwork, transport, data_dir: Path, victim: int,
+             pre_files: Dict[int, List[int]]) -> bool:
+    """Bring a killed node back from its WAL; True if recovery was exact.
+
+    Mirrors :func:`repro.net.differential._restart_from_wal`: reopen the
+    journal (snapshot + replay), rebuild the in-memory store, judge WAL
+    fidelity against the pre-kill entry set *before* the overlay
+    reconciles, then rejoin and serve again.
+    """
+    reborn = WalBackend(
+        data_dir / f"{victim:032x}", node_id=victim, sync_every=1
+    )
+    fallen = net._failed_past[victim]
+    fallen.store.backend = None
+    fallen.store.wipe_disk()
+    fallen.store.restore_state(reborn.state)
+    recovered_all = sorted(fallen.store.file_ids()) == pre_files[victim]
+    fallen.store.backend = reborn
+    net.recover_node(victim)
+    transport.ensure_server(victim)
+    if victim not in net._failed_past:  # confirm the rebirth registered
+        net.repair_all()
+    return recovered_all
+
+
+def run_live_sweep(cfg: Optional[LiveChaosConfig] = None,
+                   data_dir: Optional[Path] = None) -> LiveChaosReport:
+    """Seeded insert/lookup workload over localhost TCP under chaos.
+
+    Timeline (logical rounds, which are also the fault plan's clock):
+    round 0 inserts every file under 10% loss; each lookup round then
+    looks up every file once from a random live client.  Kill *i* fires
+    at round ``1+i`` — its round's lookups run against the corpse before
+    detection — and restarts from its WAL two rounds later.  A minority
+    partition spans ``[partition_round, partition_heal_round)``.  After
+    the last round the plan is removed (heal), stragglers restart,
+    repair runs to fixpoint, and the oracles judge the aftermath.
+    """
+    cfg = cfg or LiveChaosConfig()
+    own_dir = data_dir is None
+    base = Path(tempfile.mkdtemp(prefix="repro-live-")) if own_dir else Path(data_dir)
+    net, transport = build_cluster(
+        cfg.n_nodes, cfg.seed, engine="asyncio", data_dir=base,
+        policy=cfg.policy,
+    )
+    assert transport is not None
+    report = LiveChaosReport(
+        scenario="live-chaos", seed=cfg.seed, nodes=cfg.n_nodes,
+        files=cfg.n_files, rounds=cfg.lookup_rounds,
+    )
+    try:
+        node_ids = sorted(net.pastry.node_ids)
+        spec = _spec_for(cfg, node_ids)
+        clock = {"now": 0.0}
+        plan = WireFaultPlan(spec, reset=cfg.reset).bind_clock(
+            lambda: clock["now"]
+        )
+        transport.install_faults(plan)
+
+        rng = random.Random(derive_seed(cfg.seed, "live-workload"))
+        owner = net.create_client("live-chaos")
+        down: set = set()
+        pre_files: Dict[int, List[int]] = {}
+
+        # Round 0: inserts, under loss (client reroutes lost requests).
+        inserts = []
+        for i in range(cfg.n_files):
+            client = _pick_client(net, rng, down)
+            content = (rng.getrandbits(8 * 64).to_bytes(64, "big")
+                       * rng.randrange(1, 9))
+            result = net.insert(
+                f"live-file-{i}", owner, content=content,
+                client_id=client, policy=cfg.policy,
+            )
+            inserts.append(result)
+        report.inserts_attempted = len(inserts)
+        report.inserts_succeeded = sum(1 for r in inserts if r.success)
+        fids = [r.file_id for r in inserts if r.success]
+
+        # Lookup rounds with mid-traffic kills, restarts and partition.
+        for r in range(1, cfg.lookup_rounds + 1):
+            clock["now"] = float(r)
+            for event in plan.due_restarts(clock["now"]):
+                ok = _restart(net, transport, base, event.node_id, pre_files)
+                if report.recovered_all:  # and-fold: one bad restart sticks
+                    report.recovered_all = ok
+                report.restarts_applied += 1
+                down.discard(event.node_id)
+            fresh_kills = []
+            for event in plan.due_crashes(clock["now"]):
+                _kill(net, transport, event.node_id, pre_files)
+                down.add(event.node_id)
+                fresh_kills.append(event.node_id)
+                report.kills_applied += 1
+            # A round is degraded while a corpse is undetected (its
+            # round's traffic runs against it before the detection pass
+            # at the round boundary) or a partition is active.
+            degraded = bool(fresh_kills) or (
+                cfg.partition_round <= clock["now"] < cfg.partition_heal_round
+            )
+            succeeded = 0
+            for fid in fids:
+                client = _pick_client(net, rng, down)
+                result = net.lookup(fid, client_id=client, policy=cfg.policy)
+                report.lookups_attempted += 1
+                report.total_attempts += result.attempts
+                if result.success:
+                    succeeded += 1
+                    report.lookups_succeeded += 1
+                    if result.hedged:
+                        report.hedged_successes += 1
+            if degraded:
+                report.degraded_attempted += len(fids)
+                report.degraded_succeeded += succeeded
+            else:
+                report.steady_attempted += len(fids)
+                report.steady_succeeded += succeeded
+            if len(report.round_ledger) < r:  # one ledger entry per round
+                report.round_ledger.append(
+                    [r, "degraded" if degraded else "steady",
+                     succeeded, len(fids)]
+                )
+            for victim in fresh_kills:
+                _detect(net, victim)
+
+        # Heal: plan removed, stragglers restarted, repair to fixpoint.
+        clock["now"] = cfg.lookup_rounds + 1.0
+        report.injected = plan.injected_snapshot()
+        transport.install_faults(None)
+        for event in plan.due_restarts(float("inf")):
+            ok = _restart(net, transport, base, event.node_id, pre_files)
+            if report.recovered_all:  # and-fold: one bad restart sticks
+                report.recovered_all = ok
+            report.restarts_applied += 1
+            down.discard(event.node_id)
+        net.repair_all()
+        net.repair_all()
+
+        # Oracles: every file retrievable, clean audit, verdict parity.
+        for fid, result in zip(fids, inserts):
+            client = _pick_client(net, rng, down)
+            outcome = net.lookup(fid, client_id=client, policy=cfg.policy)
+            if not outcome.success:
+                report.lost_files += 1
+                if f"{fid:#x}" not in report.lost_file_ids:
+                    report.lost_file_ids.append(f"{fid:#x}")
+        audit_report = audit(net, check_overlay=True)
+        report.audit_ok = audit_report.ok
+        report.violations = [
+            f"{v.kind}: {v.detail}" for v in audit_report.violations
+        ]
+        report.parity = decision_parity(
+            spec, node_ids, length=256, reset=cfg.reset
+        )
+        report.wire = transport.wire.snapshot()
+        return report
+    finally:
+        report.shutdown = graceful_shutdown(transport, net)
+        if own_dir:
+            shutil.rmtree(base, ignore_errors=True)
+
+
+def live_chaos_bench(report: LiveChaosReport) -> Dict[str, object]:
+    """The committed BENCH_live_chaos payload: outcome-only, no timing.
+
+    Every field derives from seeded state consumed in a fixed sequential
+    order, so the file is byte-identical across runs and
+    ``PYTHONHASHSEED`` values — CI diffs it directly.
+    """
+    payload: Dict[str, object] = {
+        "scenario": "live_chaos",
+        "version": 1,
+        "seed": report.seed,
+        "nodes": report.nodes,
+        "files": report.files,
+        "rounds": report.rounds,
+        "inserts": f"{report.inserts_succeeded}/{report.inserts_attempted}",
+        "lookups": f"{report.lookups_succeeded}/{report.lookups_attempted}",
+        "lookup_success": round(report.lookup_success, 6),
+        "steady": f"{report.steady_succeeded}/{report.steady_attempted}",
+        "steady_success": round(report.steady_success, 6),
+        "degraded": f"{report.degraded_succeeded}/{report.degraded_attempted}",
+        "rounds_ledger": [list(row) for row in report.round_ledger],
+        "total_attempts": report.total_attempts,
+        "hedged_successes": report.hedged_successes,
+        "kills": report.kills_applied,
+        "restarts": report.restarts_applied,
+        "recovered_all": report.recovered_all,
+        "lost_files": report.lost_files,
+        "audit_ok": report.audit_ok,
+        "injected": dict(report.injected),
+        "wire": dict(report.wire),
+        "parity_ok": bool(report.parity.get("ok", False)),
+        "parity_losses": report.parity.get("losses"),
+        "parity_partition_drops": report.parity.get("partition_drops"),
+        "oracle_failures": report.oracle_failures(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    payload["checksum"] = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return payload

@@ -76,7 +76,8 @@ def run_malicious_routing(
                     fids.append(res.file_id)
             bad = list(node_ids)
             rng.shuffle(bad)
-            net.pastry.malicious = set(bad[: int(fraction * len(bad))])
+            if not net.pastry.malicious:  # honest until the corruption phase
+                net.pastry.malicious = set(bad[: int(fraction * len(bad))])
 
             lookups = succeeded = 0
             honest = [n for n in node_ids if n not in net.pastry.malicious]

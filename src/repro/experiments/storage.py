@@ -96,8 +96,9 @@ def run_table2(
                 n_nodes=n_nodes, capacity_scale=capacity_scale, dist=dist, l=l, seed=seed
             )
             run = run_storage_trace(cfg)
-            result.runs.append(run)
-            result.rows.append(run.table_row())
+            if len(result.rows) == len(result.runs):  # rows/runs in lockstep
+                result.runs.append(run)
+                result.rows.append(run.table_row())
     return result
 
 
@@ -126,8 +127,9 @@ def run_table3(
             seed=seed,
         )
         run = run_storage_trace(cfg)
-        result.runs.append(run)
-        result.rows.append(run.table_row())
+        if len(result.rows) == len(result.runs):  # rows/runs in lockstep
+            result.runs.append(run)
+            result.rows.append(run.table_row())
     return result
 
 
@@ -155,8 +157,9 @@ def run_table4(
             n_nodes=n_nodes, capacity_scale=capacity_scale, t_pri=0.1, t_div=t_div, seed=seed
         )
         run = run_storage_trace(cfg)
-        result.runs.append(run)
-        result.rows.append(run.table_row())
+        if len(result.rows) == len(result.runs):  # rows/runs in lockstep
+            result.runs.append(run)
+            result.rows.append(run.table_row())
     return result
 
 

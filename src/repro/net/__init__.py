@@ -9,12 +9,21 @@ from the statically-certified ``wire_schema.json``.
   type registry pinned by the committed schema.
 - :mod:`repro.net.asyncio_transport` — the ``Transport`` seam over real
   sockets, one server per node.
+- :mod:`repro.net.faults` — seeded socket-level fault injection
+  (:class:`WireFaultPlan`) sharing its verdict core with the sim plane.
 - :mod:`repro.net.differential` — cross-engine oracle (SimTransport vs
   AsyncioTransport outcome checksums) and the ``repro serve`` bench.
 """
 
 from .codec import CodecError, WireCodec
-from .asyncio_transport import AsyncioTransport, RemoteCallError
+from .asyncio_transport import AsyncioTransport, Backpressure, RemoteCallError
+from .faults import (
+    InjectedLoss,
+    InjectedReset,
+    WireFaultPlan,
+    WireStats,
+    decision_parity,
+)
 from .differential import (
     build_cluster,
     outcome_checksum,
@@ -25,10 +34,16 @@ from .differential import (
 
 __all__ = [
     "AsyncioTransport",
+    "Backpressure",
     "CodecError",
+    "InjectedLoss",
+    "InjectedReset",
     "RemoteCallError",
     "WireCodec",
+    "WireFaultPlan",
+    "WireStats",
     "build_cluster",
+    "decision_parity",
     "outcome_checksum",
     "run_differential",
     "run_serve",

@@ -22,9 +22,11 @@ Semantics relative to ``SimTransport``:
 * ``call=None`` (RPC to a node the caller already knows is dead) is
   short-circuited driver-side to ``(False, None)`` after accounting,
   exactly like the simulator — there is no server to time out against.
-* ``reliable=True`` is accepted and means nothing extra: the real plane
-  has no fault plan to skip.  A :class:`FaultPlan` on the overlay is
-  rejected at construction — injected faults belong to the simulator.
+* ``reliable=True`` skips the installed :class:`WireFaultPlan` exactly
+  like the simulator skips its fault plan (join and recovery state
+  exchanges assume a reliable substrate); the real network can still
+  fail the call.  A sim :class:`FaultPlan` on the overlay is rejected
+  at construction — wire faults are installed via ``install_faults``.
 * Mutable arguments (message dataclasses, lists, sets, dicts) are
   round-tripped: the reply carries their post-handler state and the
   driver merges it back into the caller's objects, preserving the
@@ -32,24 +34,52 @@ Semantics relative to ``SimTransport``:
   ``apply_member_repair`` growing ``seen``).
 * ``route`` is hop-by-hop: each node's server runs the ``forward``
   up-call locally, then chains the frame to the next hop's server; the
-  final state flows back along the chain.
+  final state flows back along the chain.  A leg the fault plane (or
+  the real network) loses ends the chain with a ``lost`` verdict that
+  rides the replies back — the client sees ``RouteResult.lost``, same
+  as under the simulator, and its retry policy takes over.
+
+Failure discipline (see DESIGN.md §4k): every RPC runs under **one**
+wall-clock deadline derived from the client's
+:class:`~repro.core.resilience.RetryPolicy` (falling back to the flat
+``timeout``); failed checkouts to live peers re-dial with seeded
+jittered backoff; per-peer in-flight RPCs are capped at a high-water
+mark past which sends are rejected, not queued; and every swallowed
+failure is classified into the :class:`~repro.net.faults.WireStats`
+counters instead of vanishing into a blanket ``except``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import threading
 import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import fields, is_dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from ..core.resilience import RetryPolicy
+from ..core.seeding import derive_seed
 from ..pastry.network import MAX_ROUTE_HOPS, RouteResult, RoutingError
 from .codec import CodecError, WireCodec
+from .faults import InjectedLoss, InjectedReset, WireFaultPlan, WireStats
 
-__all__ = ["AsyncioTransport", "RemoteCallError"]
+__all__ = ["AsyncioTransport", "Backpressure", "RemoteCallError"]
+
+#: Deadline multiplier for routed messages: the driver-side request
+#: blocks until the whole hop-by-hop chain returns, so its deadline
+#: covers this many chained legs (overlay routes are O(log n) hops;
+#: deeper chains fail the leg, report it lost, and let the client
+#: retry rather than stall).
+ROUTE_DEADLINE_LEGS = 8
+
+#: Slack added to the driver-side future wait beyond the in-loop
+#: deadline: the coroutine is cancelled *at* the deadline, the slack
+#: only covers loop-scheduling lag before the cancellation lands.
+DEADLINE_GRACE = 5.0
 
 #: How a handler's owning class is reached from the target's PastryNode.
 #: Keys are the class names pinned in the wire schema's rpc table.
@@ -64,6 +94,17 @@ _TARGET_PATHS: Dict[str, Tuple[str, ...]] = {
 
 class RemoteCallError(RuntimeError):
     """A remote handler raised; carries the remote traceback text."""
+
+
+class Backpressure(ConnectionError):
+    """A send rejected at the per-peer in-flight high-water mark.
+
+    Subclasses :class:`ConnectionError` so the callers' existing
+    ``except OSError`` recovery paths treat an overloaded peer like an
+    unreachable one: the RPC is undelivered and the client's retry
+    policy decides what happens next.  Rejecting (instead of queueing)
+    keeps an overloaded peer from accumulating unbounded waiters.
+    """
 
 
 def _merge_value(old: Any, new: Any) -> None:
@@ -109,25 +150,60 @@ class _PeriodicTimer:
 class AsyncioTransport:
     """Transport seam over localhost asyncio TCP, one server per node."""
 
+    #: The clock behind :meth:`now` is wall time: engine-agnostic
+    #: deadline code (``core.resilience``) may bound operations by it.
+    #: ``SimTransport`` has no such attribute, so the same check keeps
+    #: the simulator's virtual-time model byte-identical.
+    realtime = True
+
     def __init__(
         self,
         overlay: Any,
         host: str = "127.0.0.1",
         max_workers: int = 64,
         timeout: float = 30.0,
+        policy: Optional[RetryPolicy] = None,
+        pool_limit: int = 32,
+        reconnect_attempts: int = 3,
+        reconnect_backoff: float = 0.05,
+        seed: int = 0,
     ):
         if getattr(overlay, "fault_plan", None) is not None:
             raise RuntimeError(
                 "AsyncioTransport refuses a FaultPlan: injected faults "
-                "belong to the deterministic simulator"
+                "belong to the deterministic simulator (wire faults are "
+                "a WireFaultPlan, installed via install_faults)"
             )
+        if pool_limit < 1:
+            raise ValueError("pool_limit must be at least 1")
         self.overlay = overlay
         self.host = host
         self.timeout = timeout
+        #: Per-RPC deadlines derive from this policy when set; the flat
+        #: ``timeout`` is only the policy-less fallback.
+        self.policy = policy
+        #: Per-peer in-flight high-water mark (reject past it).
+        self.pool_limit = pool_limit
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff = reconnect_backoff
+        #: Installed socket-level fault plan (None = zero-cost clean wire).
+        self.faults: Optional[WireFaultPlan] = None
+        #: Classified failure counters (satellite of the fault plane:
+        #: refused vs reset vs timeout, reconnects, rejected sends).
+        self.wire = WireStats()
         self.codec = WireCodec()
         self._ports: Dict[int, int] = {}
         self._servers: Dict[int, asyncio.AbstractServer] = {}
         self._pool: Dict[int, List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]] = {}
+        #: Per-peer checked-out connection counts (loop thread only).
+        self._active: Dict[int, int] = {}
+        #: Accepted server-side connections, so a kill can sever them.
+        self._server_conns: Dict[int, Set[asyncio.StreamWriter]] = {}
+        #: Nodes whose process was killed: no serve-on-first-contact
+        #: resurrection until an explicit ensure_server (the restart).
+        self._down: Set[int] = set()
+        #: Jittered-backoff draws for re-dials (loop thread only).
+        self._backoff_rng = random.Random(derive_seed(seed, "wire-backoff"))
         self._t0 = time.perf_counter()
         #: Per-node dispatch locks: a node's handlers are serialized (the
         #: engine state is not thread-safe), re-entrantly so a handler's
@@ -157,16 +233,37 @@ class AsyncioTransport:
         return dict(self._ports)
 
     def ensure_server(self, node_id: int) -> int:
-        """Start (idempotently) the server for one node; returns its port."""
+        """Start (idempotently) the server for one node; returns its port.
+
+        Also the restart path after :meth:`kill_server`: an explicit
+        ensure clears the down flag, the way a restarted process binds
+        its port again.
+        """
+        self._down.discard(node_id)
         port = self._ports.get(node_id)
         if port is not None:
             return port
         return self._run(self._start_server(node_id))
 
     def stop_server(self, node_id: int) -> None:
-        """Stop a node's server (a crashed node stops answering probes)."""
+        """Stop a node's server (a crashed node stops answering probes).
+
+        Models a process death: accepted connections are severed (a
+        client blocked on a reply sees a reset, not a silent stall) and
+        the node is marked down, so serve-on-first-contact cannot
+        resurrect it — only an explicit :meth:`ensure_server` restart.
+        """
+        self._down.add(node_id)
         if node_id in self._ports:
             self._run(self._stop_server(node_id))
+
+    def kill_server(self, node_id: int) -> None:
+        """Alias of :meth:`stop_server`, named for chaos harness intent."""
+        self.stop_server(node_id)
+
+    def install_faults(self, plan: Optional[WireFaultPlan]) -> None:
+        """Install (or with ``None`` remove) the socket-level fault plan."""
+        self.faults = plan
 
     def drain(self, timeout: float = 10.0) -> bool:
         """Wait for every in-flight dispatch to finish; True if it did.
@@ -273,8 +370,16 @@ class AsyncioTransport:
                 # guarantee holds.
                 reply = self._loopback(target_id, frame)
             else:
-                reply = self._request(target_id, frame)
-        except (OSError, asyncio.TimeoutError):
+                # reliable=True matches the simulator's semantics: the
+                # fault plan is skipped (join/recovery state exchanges
+                # assume a reliable substrate), though the real network
+                # can of course still fail the call.
+                reply = self._request(
+                    target_id, frame,
+                    link=None if reliable else (origin_id, target_id),
+                )
+        except (OSError, asyncio.TimeoutError) as exc:
+            self._note_failure(exc)
             return False, None
         if "error" in reply:
             raise RemoteCallError(
@@ -288,8 +393,11 @@ class AsyncioTransport:
 
     def probe(self, origin_id: int, peer_id: int) -> bool:
         try:
-            reply = self._request(peer_id, {"op": "ping"})
-        except (OSError, asyncio.TimeoutError):
+            reply = self._request(
+                peer_id, {"op": "ping"}, link=(origin_id, peer_id)
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            self._note_failure(exc)
             return False
         return bool(reply.get("ok"))
 
@@ -298,13 +406,25 @@ class AsyncioTransport:
         overlay = self.overlay
         if origin_id not in overlay._nodes:
             raise KeyError(f"origin {origin_id} is not a live node")
-        reply = self._request(
-            origin_id, {"op": "route", "key": key, "message": message, "path": []}
-        )
+        try:
+            reply = self._request(
+                origin_id,
+                {"op": "route", "key": key, "message": message, "path": []},
+                deadline=self.rpc_deadline(ROUTE_DEADLINE_LEGS),
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            # The client's request (or the whole chain's reply) never
+            # came back: same observable as the simulator's lost route.
+            self._note_failure(exc)
+            reply = {"lost": True, "path": []}
         if "error" in reply:
             raise RemoteCallError(
                 f"route({key:#x}) from node {origin_id:#x} raised:\n{reply['error']}"
             )
+        if reply.get("lost"):
+            result = RouteResult(path=reply.get("path") or [], lost=True)
+            overlay.stats.record_route(result.hops, result.distance)
+            return result
         if message is not None and reply["message"] is not None:
             _merge_value(message, reply["message"])
         result = RouteResult(path=reply["path"])
@@ -320,63 +440,201 @@ class AsyncioTransport:
 
     # --------------------------------------------------------- driver plumbing
 
+    def rpc_deadline(self, legs: int = 1) -> float:
+        """The wall-clock deadline for one RPC spanning ``legs`` legs."""
+        if self.policy is not None:
+            return self.policy.rpc_deadline(legs)
+        return self.timeout * max(1, legs)
+
+    def _note_failure(self, exc: BaseException) -> None:
+        """Classify a swallowed transport failure into :attr:`wire`.
+
+        Injected losses are counted by the plan at decision time and
+        backpressure rejections at the reject site; everything else the
+        old blanket ``except`` hid becomes a named counter.
+        """
+        if isinstance(exc, (InjectedLoss, Backpressure)):
+            return
+        if isinstance(exc, asyncio.TimeoutError):
+            self.wire.timeouts += 1
+        elif isinstance(exc, (ConnectionResetError, BrokenPipeError)):
+            self.wire.resets += 1
+        elif isinstance(exc, ConnectionRefusedError):
+            self.wire.refused += 1
+
     def _run(self, coro):
         """Run a coroutine on the loop thread, blocking the caller."""
         return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
 
-    def _request(self, target_id: int, frame: dict) -> dict:
+    def _request(
+        self,
+        target_id: int,
+        frame: dict,
+        deadline: Optional[float] = None,
+        link: Optional[Tuple[int, int]] = None,
+        dup_ok: bool = False,
+    ) -> dict:
         """One encoded round-trip to a node's server.
 
         Safe from any thread except the loop thread itself (handlers run
         on the executor, so nested RPCs arrive here, not on the loop).
+
+        One deadline governs the whole leg — checkout, write, and the
+        reply read — enforced in-loop by ``wait_for`` (the old split of
+        an in-loop read timeout plus a doubled driver-side future wait
+        could leave a leg alive for twice its nominal budget).  Both the
+        in-loop expiry and the belt-and-suspenders driver-side wait
+        normalize to :class:`asyncio.TimeoutError`.
+
+        ``link`` names the (src, dst) pair the installed fault plan is
+        consulted about; ``None`` legs (loopback, the driver's hand-off
+        to the origin's own server) are never injected.
         """
         blob = self.codec.encode_frame(frame)
+        if deadline is None:
+            deadline = self.rpc_deadline()
         future = asyncio.run_coroutine_threadsafe(
-            self._roundtrip(target_id, blob), self._loop
+            asyncio.wait_for(
+                self._roundtrip(target_id, blob, link=link, dup_ok=dup_ok),
+                timeout=deadline,
+            ),
+            self._loop,
         )
         try:
-            return self.codec.decode(future.result(timeout=self.timeout * 2))
+            return self.codec.decode(future.result(timeout=deadline + DEADLINE_GRACE))
+        except InjectedLoss:
+            # Must re-raise as itself: on 3.11+ concurrent.futures'
+            # TimeoutError *is* the builtin, so the clause below would
+            # otherwise swallow the injected flavor and misclassify it
+            # as a real timeout.
+            raise
         except FuturesTimeout:
-            # Normalize to the flavor the callers' except clauses expect
-            # (concurrent.futures and asyncio timeouts differ pre-3.11).
+            # The loop never even cancelled the leg in time; give up on
+            # the future and normalize to the asyncio flavor.
+            future.cancel()
             raise asyncio.TimeoutError(
                 f"no reply from node {target_id:#x}"
             ) from None
 
-    async def _roundtrip(self, target_id: int, blob: bytes) -> bytes:
+    async def _roundtrip(
+        self,
+        target_id: int,
+        blob: bytes,
+        link: Optional[Tuple[int, int]] = None,
+        dup_ok: bool = False,
+    ) -> bytes:
+        faults = self.faults
+        verdict = None
+        if faults is not None and link is not None:
+            verdict = faults.decide(link[0], link[1])
+            if verdict.lost:
+                # Fail fast instead of burning the real deadline: to the
+                # caller an injected drop and a timed-out reply are the
+                # same undelivered RPC.
+                raise InjectedLoss(
+                    f"injected loss on link {link[0]:#x}->{link[1]:#x}"
+                )
+            if verdict.delay > 0.0:
+                await asyncio.sleep(min(verdict.delay, 1.0))
         port = self._ports.get(target_id)
         if port is None:
             # Live nodes serve on first contact (a joining node's peers
             # are dialed before any explicit serve_all()); dead nodes
-            # refuse, which is what probes are for.
-            if target_id in self.overlay._nodes:
+            # refuse, which is what probes are for.  Killed processes
+            # stay dead until their explicit ensure_server restart.
+            if target_id in self.overlay._nodes and target_id not in self._down:
                 port = await self._start_server(target_id)
             else:
                 raise ConnectionRefusedError(f"node {target_id:#x} is not serving")
         conn = await self._checkout(target_id, port)
         reader, writer = conn
         try:
-            writer.write(blob)
-            await writer.drain()
-            payload = await asyncio.wait_for(
-                self._read_frame(reader), timeout=self.timeout
-            )
-        except BaseException:
-            writer.close()
-            raise
-        if payload is None:
-            writer.close()
-            raise ConnectionResetError(f"node {target_id:#x} closed mid-call")
-        self._pool.setdefault(target_id, []).append(conn)
-        return payload
+            try:
+                if verdict is not None and verdict.reset:
+                    # Tear the link mid-frame: the server sees a
+                    # half-written length prefix, the caller a reset.
+                    writer.write(blob[:2])
+                    await writer.drain()
+                    writer.close()
+                    raise InjectedReset(
+                        f"injected reset on link to node {target_id:#x}"
+                    )
+                writer.write(blob)
+                await writer.drain()
+                payload = await self._read_frame(reader)
+                if (payload is not None and dup_ok
+                        and verdict is not None and verdict.duplicate):
+                    # The receiver gets the frame twice (the sim's
+                    # duplicated hop): downstream handlers re-run, the
+                    # second reply is drained and discarded so the
+                    # pooled connection stays frame-aligned.
+                    writer.write(blob)
+                    await writer.drain()
+                    await self._read_frame(reader)
+            except BaseException:
+                writer.close()
+                raise
+            if payload is None:
+                writer.close()
+                raise ConnectionResetError(f"node {target_id:#x} closed mid-call")
+            self._pool.setdefault(target_id, []).append(conn)
+            return payload
+        finally:
+            self._active[target_id] = self._active.get(target_id, 1) - 1
 
     async def _checkout(self, target_id: int, port: int):
+        if self._active.get(target_id, 0) >= self.pool_limit:
+            # Reject-not-queue: past the high-water mark the peer is
+            # overloaded and queueing would only hide it; the caller's
+            # retry policy owns the recovery.
+            self.wire.rejected += 1
+            raise Backpressure(
+                f"node {target_id:#x}: {self.pool_limit} RPCs already in flight"
+            )
         free = self._pool.get(target_id)
+        conn = None
         while free:
             reader, writer = free.pop()
             if not writer.is_closing():
-                return reader, writer
-        return await asyncio.open_connection(self.host, port)
+                conn = reader, writer
+                break
+        if conn is None:
+            try:
+                conn = await asyncio.open_connection(self.host, port)
+            except OSError:
+                if target_id not in self.overlay._nodes or target_id in self._down:
+                    raise
+                conn = await self._redial(target_id)
+        self._active[target_id] = self._active.get(target_id, 0) + 1
+        return conn
+
+    async def _redial(self, target_id: int):
+        """Re-dial a live peer with seeded, jittered exponential backoff.
+
+        A refused connection to a peer the overlay says is alive is
+        usually a restart race (its server is rebinding); backing off
+        and re-dialing rides it out.  Dead peers never get here — their
+        refusal is the failure-detection signal and must stay prompt.
+        """
+        delay = self.reconnect_backoff
+        for attempt in range(self.reconnect_attempts):
+            await asyncio.sleep(delay * (1.0 + self._backoff_rng.random()))
+            delay *= 2.0
+            if target_id not in self.overlay._nodes or target_id in self._down:
+                break
+            port = self._ports.get(target_id)
+            if port is None:
+                port = await self._start_server(target_id)
+            try:
+                conn = await asyncio.open_connection(self.host, port)
+            except OSError:
+                continue
+            self.wire.reconnects += 1
+            return conn
+        raise ConnectionRefusedError(
+            f"node {target_id:#x} still unreachable after "
+            f"{self.reconnect_attempts} re-dials"
+        )
 
     @staticmethod
     async def _read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
@@ -403,6 +661,10 @@ class AsyncioTransport:
         self._ports.pop(node_id, None)
         for reader, writer in self._pool.pop(node_id, []):
             writer.close()
+        # A dead process severs its accepted connections too: a client
+        # blocked on a reply sees a reset, not a silent stall.
+        for writer in list(self._server_conns.pop(node_id, set())):
+            writer.close()
         if server is not None:
             server.close()
             await server.wait_closed()
@@ -419,6 +681,8 @@ class AsyncioTransport:
         await asyncio.gather(*tasks, return_exceptions=True)
 
     async def _serve_conn(self, node_id: int, reader, writer) -> None:
+        conns = self._server_conns.setdefault(node_id, set())
+        conns.add(writer)
         try:
             while True:
                 payload = await self._read_frame(reader)
@@ -442,6 +706,7 @@ class AsyncioTransport:
             # stream protocol's done-callback finds no pending exception.
             pass
         finally:
+            conns.discard(writer)
             try:
                 writer.close()
             except RuntimeError:
@@ -518,7 +783,18 @@ class AsyncioTransport:
                 return {"terminus": node_id, "intercepted": False,
                         "path": path, "message": message}
         # Chain the (post-forward) message to the next hop's server; the
-        # final state rides the replies back along the chain.
-        return self._request(
-            next_id, {"op": "route", "key": key, "message": message, "path": path}
-        )
+        # final state rides the replies back along the chain.  A leg the
+        # fault plane (or the network) loses turns into a ``lost``
+        # verdict riding back instead — the client's RouteResult.lost,
+        # exactly the simulator's observable for a dropped hop.
+        try:
+            return self._request(
+                next_id,
+                {"op": "route", "key": key, "message": message, "path": path},
+                deadline=self.rpc_deadline(ROUTE_DEADLINE_LEGS),
+                link=(node_id, next_id),
+                dup_ok=True,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            self._note_failure(exc)
+            return {"lost": True, "path": path}

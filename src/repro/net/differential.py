@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..core.config import PastConfig
 from ..core.invariants import audit
 from ..core.network import PastNetwork
+from ..core.resilience import RetryPolicy
 from .asyncio_transport import AsyncioTransport
 
 __all__ = [
@@ -56,6 +57,8 @@ def build_cluster(
     seed: int,
     engine: str = "sim",
     data_dir: Optional[Path] = None,
+    policy: Optional["RetryPolicy"] = None,
+    config: Optional[PastConfig] = None,
 ) -> Tuple[PastNetwork, Optional[AsyncioTransport]]:
     """One seeded PAST deployment on the chosen transport engine.
 
@@ -66,8 +69,13 @@ def build_cluster(
     born with a :class:`~repro.store.WalBackend` journaling to
     ``data_dir/<node_id>``, fsyncing every record (``sync_every=1``) —
     a killed process loses nothing that was acknowledged.
+
+    ``policy`` (asyncio engine only) derives the transport's per-RPC
+    deadlines from the client's :class:`RetryPolicy` instead of the
+    flat 30s default, and seeds its reconnect-backoff RNG from ``seed``.
     """
-    net = PastNetwork(config=PastConfig(seed=seed))
+    net = PastNetwork(config=config if config is not None
+                      else PastConfig(seed=seed))
     if data_dir is not None:
         from ..store import WalBackend
 
@@ -81,7 +89,7 @@ def build_cluster(
         net.store_backend_factory = factory
     transport: Optional[AsyncioTransport] = None
     if engine == "asyncio":
-        transport = AsyncioTransport(net.pastry)
+        transport = AsyncioTransport(net.pastry, policy=policy, seed=seed)
         net.transport = transport
         net.pastry.transport = transport
     elif engine != "sim":
@@ -181,11 +189,13 @@ def outcome_checksum(net: PastNetwork, workload: Dict[str, Any]) -> Tuple[str, d
 
 def _run_engine(
     engine: str, n_nodes: int, n_files: int, seed: int
-) -> Tuple[str, dict]:
+) -> Tuple[str, dict, Optional[Dict[str, int]]]:
     net, transport = build_cluster(n_nodes, seed, engine=engine)
     try:
         workload = run_workload(net, n_files, seed=seed + 1)
-        return outcome_checksum(net, workload)
+        checksum, view = outcome_checksum(net, workload)
+        wire = transport.wire.snapshot() if transport is not None else None
+        return checksum, view, wire
     finally:
         if transport is not None:
             transport.close()
@@ -195,14 +205,17 @@ def run_differential(
     n_nodes: int = 10, n_files: int = 8, seed: int = 7
 ) -> Dict[str, Any]:
     """Both engines, one workload; the checksums must match."""
-    sim_sum, sim_view = _run_engine("sim", n_nodes, n_files, seed)
-    net_sum, net_view = _run_engine("asyncio", n_nodes, n_files, seed)
+    sim_sum, sim_view, _ = _run_engine("sim", n_nodes, n_files, seed)
+    net_sum, net_view, wire = _run_engine("asyncio", n_nodes, n_files, seed)
     return {
         "sim": sim_sum,
         "asyncio": net_sum,
         "equal": sim_sum == net_sum,
         "sim_view": sim_view,
         "asyncio_view": net_view,
+        # Classified wire-failure counters from the asyncio engine: a
+        # clean differential run must observe none.
+        "wire": wire,
     }
 
 
@@ -369,6 +382,9 @@ def run_serve(
             "ops": ops,
             "lookup_failures": len(failures),
             "audit_violations": len(view["audit_violations"]),
+            # Classified transport-failure counters (all deterministic:
+            # a clean localhost serve observes zero of each).
+            "wire": transport.wire.snapshot(),
             "checksum": checksum,
             "timing": {
                 "wall_s": round(wall_s, 3),

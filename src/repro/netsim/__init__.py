@@ -34,6 +34,7 @@ from .faults import (
     CrashPoint,
     DiskModeEvent,
     FaultPlan,
+    FaultSpec,
     FaultStats,
     Partition,
     StorageFaultPlan,
@@ -59,6 +60,7 @@ __all__ = [
     "EventHandle",
     "EventSimulator",
     "FaultPlan",
+    "FaultSpec",
     "FaultStats",
     "MessageStats",
     "LatencyModel",

@@ -44,13 +44,14 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tup
 NEVER = float("inf")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Partition:
     """One network cut: ``group`` vs. everyone else, active in [start, end).
 
     A message (or probe) crossing the cut while it is active is lost
     with certainty; traffic within either side is unaffected.  ``end``
-    is the heal time (:data:`NEVER` for a permanent cut).
+    is the heal time (:data:`NEVER` for a permanent cut).  Slotted:
+    partition storms build one per cut per spec materialization.
     """
 
     start: float
@@ -144,6 +145,44 @@ _CLEAN = Transmission()
 _LOST = Transmission(lost=True)
 
 
+@dataclass(frozen=True)
+class FaultSpec:
+    """Engine-neutral, declarative description of network adversity.
+
+    A :class:`FaultPlan` is *stateful* (a consumed RNG, mutable builder
+    lists); a spec is the frozen recipe it was built from.  Both fault
+    engines construct their decision core from the same spec —
+    :meth:`FaultPlan.from_spec` for the simulator,
+    :class:`repro.net.faults.WireFaultPlan` for real TCP — which is what
+    makes the sim/live parity oracle meaningful: identical specs must
+    yield identical loss/partition verdict sequences in both engines.
+
+    Collections are tuples so a spec hashes and compares by value:
+
+    * ``link_loss``: ``(src, dst, probability)`` triples;
+    * ``gray_nodes``: node ids whose links lose at ``gray_loss``;
+    * ``partitions``: ``(start, end, group)`` cuts (group a tuple);
+    * ``crashes``: ``(time, node_id, restart_at, wipe_disk)`` events.
+      Times are whatever clock the consuming engine binds — virtual
+      seconds under the simulator, workload *rounds* under the live
+      chaos harness.
+    """
+
+    seed: int = 0
+    loss: float = 0.0
+    delay_mean: float = 0.0
+    duplicate: float = 0.0
+    gray_loss: float = 0.5
+    link_loss: Tuple[Tuple[int, int, float], ...] = ()
+    gray_nodes: Tuple[int, ...] = ()
+    partitions: Tuple[Tuple[float, float, Tuple[int, ...]], ...] = ()
+    crashes: Tuple[Tuple[float, int, Optional[float], bool], ...] = ()
+
+    def build_plan(self) -> "FaultPlan":
+        """Materialize the stateful decision core this spec describes."""
+        return FaultPlan.from_spec(self)
+
+
 @dataclass
 class FaultStats:
     """Counters for every fault the plan actually injected.
@@ -229,6 +268,33 @@ class FaultPlan:
 
     # ------------------------------------------------------------- building
 
+    @classmethod
+    def from_spec(cls, spec: FaultSpec) -> "FaultPlan":
+        """Build the stateful decision core a :class:`FaultSpec` describes.
+
+        Both fault engines call this with the same spec, so their RNGs
+        start identical and their builder state (link overrides, gray
+        sets, partitions, crash schedules) matches element for element.
+        Construction draws nothing from the RNG — verdict streams start
+        at draw zero in both engines.
+        """
+        plan = cls(
+            seed=spec.seed,
+            loss=spec.loss,
+            delay_mean=spec.delay_mean,
+            duplicate=spec.duplicate,
+            gray_loss=spec.gray_loss,
+        )
+        for src, dst, p in spec.link_loss:
+            plan.set_link_loss(src, dst, p)
+        for node_id in sorted(spec.gray_nodes):
+            plan.mark_gray(node_id)
+        for start, end, group in spec.partitions:
+            plan.add_partition(at=start, heal_at=end, group=group)
+        for time, node_id, restart_at, wipe_disk in spec.crashes:
+            plan.schedule_crash(time, node_id, restart_at, wipe_disk)
+        return plan
+
     def bind_clock(self, now_fn: Callable[[], float]) -> "FaultPlan":
         """Attach the virtual clock that timed faults (partitions) read."""
         self._now = now_fn
@@ -307,6 +373,15 @@ class FaultPlan:
             return False
         now = self._now()
         return any(p.severs(a, b, now) for p in self.partitions)
+
+    def severed(self, a: int, b: int) -> bool:
+        """Whether a partition currently cuts the link a<->b (no draw).
+
+        Public so the wire plane can distinguish a partition drop from a
+        probabilistic loss *before* consuming the verdict — the check
+        reads the clock only, never the RNG, so asking is free.
+        """
+        return self._severed(a, b)
 
     def _loss_probability(self, src: int, dst: int) -> float:
         p = self.link_loss.get((src, dst), self.loss)
